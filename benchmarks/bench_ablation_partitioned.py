@@ -1,0 +1,57 @@
+"""Ablation: ordered vs partitioned (implicitly clustered) indexing.
+
+§4.1 claims BF-Trees only need *partitioned* data.  This bench builds the
+shipdate index on the fully sorted column and the commitdate index on the
+merely-clustered column of the same table (Figure 1a's implicit
+clustering) and compares size and probe cost.  The partitioned index pays
+for range overlap — occasional neighbour-leaf probes and a conservative
+filter sizing — but stays within a small factor of the ordered one.
+"""
+
+from benchmarks.conftest import N_PROBES
+from repro.core import BFTree, BFTreeConfig
+from repro.harness import format_table, run_probes, us
+from repro.workloads import point_probes
+
+FPP = 1e-4
+
+
+def _measure(relation):
+    ship = BFTree.bulk_load(relation, "shipdate", BFTreeConfig(fpp=FPP))
+    commit = BFTree.bulk_load(
+        relation, "commitdate", BFTreeConfig(fpp=FPP), ordered=False
+    )
+    rows = []
+    for name, tree, column in (
+        ("shipdate (ordered)", ship, "shipdate"),
+        ("commitdate (partitioned)", commit, "commitdate"),
+    ):
+        probes = point_probes(relation, column, N_PROBES, hit_rate=1.0)
+        stats = run_probes(tree, probes, "SSD/SSD")
+        rows.append([
+            name, tree.size_pages, stats.avg_latency,
+            stats.index_reads_per_search, stats.data_reads_per_search,
+        ])
+    return rows
+
+
+def test_ablation_partitioned_vs_ordered(benchmark, emit, tpch_relation):
+    rows = benchmark.pedantic(
+        _measure, args=(tpch_relation,), rounds=1, iterations=1
+    )
+    emit(format_table(
+        ["index", "pages", "latency (us)", "index reads", "data reads"],
+        [
+            [n, p, f"{us(lat):.1f}", f"{ir:.2f}", f"{dr:.2f}"]
+            for n, p, lat, ir, dr in rows
+        ],
+        title=f"Ablation: ordered vs partitioned column (fpp={FPP:g})",
+    ))
+    ordered_row, partitioned_row = rows
+    # The partitioned index works at a bounded overhead.  The extra data
+    # reads are genuine scatter, not index waste: one commitdate's rows
+    # really do spread across a ~180-day shipdate window of the file
+    # (dbgen draws commitdate = orderdate + U(30,90) while the sort key is
+    # shipdate = orderdate + U(1,121)).
+    assert partitioned_row[2] < ordered_row[2] * 5
+    assert partitioned_row[1] < ordered_row[1] * 10

@@ -1,0 +1,28 @@
+"""Figure 2: the capacity/performance storage trade-off.
+
+Prints the device catalogue (GB/$ vs random-read IOPS) and asserts the
+two-cluster structure the paper reads off the plot: HDDs offer cheaper
+capacity than every SSD, while SSDs deliver one to four orders of
+magnitude more random-read IOPS.
+"""
+
+from repro.harness import format_table
+from repro.model import DEVICE_CATALOG, tradeoff_summary
+
+
+def test_fig2_device_clusters(benchmark, emit):
+    summary = benchmark.pedantic(tradeoff_summary, rounds=1, iterations=1)
+    rows = [
+        [d.kind, d.name, f"{d.gb_per_dollar:.2f}", f"{d.random_read_iops:,.0f}"]
+        for d in DEVICE_CATALOG
+    ]
+    emit(format_table(
+        ["class", "device", "GB/$", "random read IOPS"],
+        rows,
+        title="Figure 2: capacity/performance trade-off (end-2013 devices)",
+    ))
+    assert summary["HDD"]["min_gb_per_dollar"] > summary["SSD"]["max_gb_per_dollar"]
+    ratio_lo = summary["SSD"]["min_iops"] / summary["HDD"]["max_iops"]
+    ratio_hi = summary["SSD"]["max_iops"] / summary["HDD"]["min_iops"]
+    assert ratio_lo > 10          # at least one order of magnitude
+    assert ratio_hi < 10**5       # at most ~four orders

@@ -1,0 +1,70 @@
+"""Figure 4: analytical comparison of BF-Tree against B+-Tree, compressed
+B+-Tree, FD-Tree and SILT (Section 5).
+
+Sweeps the false-positive probability over the paper's x-axis and prints
+both panels — response time and index size, normalized to the vanilla
+B+-Tree — then asserts the paper's reading of the figure:
+
+* BF-Tree beats the B+-Tree on probe time for fpp <= ~1e-3;
+* SILT is ~5% faster with a cached trie, ~32% slower when it loads;
+* FD-Tree matches the B+-Tree's size and probes competitively;
+* at fpp = 1e-8 the BF-Tree's size meets the compressed B+-Tree's ~10%.
+"""
+
+import pytest
+
+from repro.harness import format_table
+from repro.model import (
+    COMPRESSED_SIZE_RATIO,
+    FIGURE4_PARAMS,
+    compare_at,
+    crossover_fpp,
+    smallest_at_equal_size,
+    sweep_fpp,
+)
+
+FPP_AXIS = [10.0**e for e in range(-8, 0)]
+
+
+def test_fig4_analytic_comparison(benchmark, emit):
+    points = benchmark.pedantic(
+        sweep_fpp, args=(FIGURE4_PARAMS, FPP_AXIS), rounds=1, iterations=1
+    )
+    time_rows = [
+        [f"{p.fpp:.0e}", f"{p.bf_time:.3f}", f"{p.fd_time:.3f}",
+         f"{p.silt_time_cached:.3f}", f"{p.silt_time_loaded:.3f}"]
+        for p in points
+    ]
+    emit(format_table(
+        ["fpp", "BF-Tree", "FD-Tree", "SILT (cached)", "SILT (loaded)"],
+        time_rows,
+        title="Figure 4(a): response time normalized to B+-Tree",
+    ))
+    size_rows = [
+        [f"{p.fpp:.0e}", f"{p.bf_size:.4f}", f"{p.compressed_size:.2f}",
+         f"{p.silt_size:.2f}", f"{p.fd_size:.2f}"]
+        for p in points
+    ]
+    emit(format_table(
+        ["fpp", "BF-Tree", "compressed B+", "SILT", "FD-Tree"],
+        size_rows,
+        title="Figure 4(b): index size normalized to B+-Tree",
+    ))
+
+    crossing = crossover_fpp(FIGURE4_PARAMS)
+    assert crossing is not None and 1e-4 <= crossing <= 3e-3
+
+    mid = compare_at(FIGURE4_PARAMS.with_fpp(1e-4))
+    assert mid.silt_time_cached == pytest.approx(0.95, abs=0.02)
+    assert mid.silt_time_loaded == pytest.approx(1.32, abs=0.03)
+    assert abs(mid.fd_time - mid.bf_time) < 0.1
+    assert mid.fd_size == 1.0
+
+    equal_size_fpp = smallest_at_equal_size(FIGURE4_PARAMS)
+    assert 1e-10 < equal_size_fpp < 1e-6
+    edge = compare_at(FIGURE4_PARAMS.with_fpp(equal_size_fpp))
+    assert edge.bf_size == pytest.approx(COMPRESSED_SIZE_RATIO, rel=0.05)
+    emit(
+        f"Fig 4 claims: BF beats B+ for fpp <= {crossing:g}; "
+        f"BF size meets compressed B+ at fpp ~ {equal_size_fpp:.1e}"
+    )

@@ -1,0 +1,76 @@
+"""Figure 5: PK index probe latency vs fpp, five storage configurations.
+
+Panel (a): the BF-Tree's average response time as fpp sweeps from 0.2 to
+1e-15, one line per (index placement, data placement) pair.  Panel (b):
+the B+-Tree under the same configurations plus the in-memory hash index.
+
+Shape assertions (paper §6.2):
+* latency falls as fpp tightens, then flattens (with a mild uptick once
+  the taller tree costs more index I/O);
+* with the index in memory and data on SSD the BF-Tree matches the
+  B+-Tree for fpp <= ~2e-3;
+* the in-memory hash index performs like the memory-resident B+-Tree.
+"""
+
+import pytest
+
+from benchmarks.conftest import FPP_GRID, N_PROBES
+from repro.baselines import HashIndex
+from repro.harness import format_table, run_probes, us
+from repro.storage import FIVE_CONFIGS
+from repro.workloads import point_probes
+
+
+def _measure(pk_trees, bp_tree, relation):
+    probes = point_probes(relation, "pk", N_PROBES, hit_rate=1.0)
+    bf_rows = {}
+    for fpp, tree in pk_trees.items():
+        bf_rows[fpp] = {
+            cfg.name: run_probes(tree, probes, cfg).avg_latency
+            for cfg in FIVE_CONFIGS
+        }
+    bp_row = {
+        cfg.name: run_probes(bp_tree, probes, cfg).avg_latency
+        for cfg in FIVE_CONFIGS
+    }
+    hash_index = HashIndex.build(relation, "pk", unique=True)
+    hash_lat = run_probes(hash_index, probes, "MEM/SSD").avg_latency
+    return bf_rows, bp_row, hash_lat
+
+
+def test_fig5_pk_probe_latency(benchmark, emit, pk_bf_trees, pk_bp_tree,
+                               synth_relation):
+    bf_rows, bp_row, hash_lat = benchmark.pedantic(
+        _measure, args=(pk_bf_trees, pk_bp_tree, synth_relation),
+        rounds=1, iterations=1,
+    )
+    config_names = [cfg.name for cfg in FIVE_CONFIGS]
+    rows = [
+        [f"{fpp:g}"] + [f"{us(lat[c]):.1f}" for c in config_names]
+        for fpp, lat in bf_rows.items()
+    ]
+    emit(format_table(
+        ["fpp"] + config_names, rows,
+        title="Figure 5(a): BF-Tree PK probe latency (us), cold caches",
+    ))
+    emit(format_table(
+        ["index"] + config_names + ["hash (mem)"],
+        [["B+-Tree"] + [f"{us(bp_row[c]):.1f}" for c in config_names]
+         + [f"{us(hash_lat):.1f}"]],
+        title="Figure 5(b): B+-Tree / hash index reference",
+    ))
+
+    # Latency improves as fpp tightens (compare loosest vs mid sweep).
+    for config in config_names:
+        assert bf_rows[0.2][config] > bf_rows[2e-4][config]
+
+    # MEM/SSD: BF-Tree matches B+-Tree at low fpp (within 10%).
+    assert bf_rows[2e-3]["MEM/SSD"] <= bp_row["MEM/SSD"] * 1.10
+
+    # Hash index performs like the memory-resident B+-Tree (both are a
+    # single data-page read plus CPU).
+    assert hash_lat == pytest.approx(bp_row["MEM/SSD"], rel=0.2)
+
+    # Config ordering: slower storage, slower probes.
+    assert bf_rows[2e-3]["MEM/SSD"] < bf_rows[2e-3]["MEM/HDD"]
+    assert bf_rows[2e-3]["SSD/HDD"] < bf_rows[2e-3]["HDD/HDD"]

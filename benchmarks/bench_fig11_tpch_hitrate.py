@@ -1,0 +1,81 @@
+"""Figure 11: TPCH shipdate point probes, varying the hit rate.
+
+The lineitem table is partitioned on shipdate; every date repeats ~2400
+times at SF1 (proportionally fewer here), so the BF-Tree is very short
+("the high cardinality of each date results in short trees").  The paper
+varies the fraction of probes that match:
+
+* 0% hit rate: the BF-Tree wins decisively — misses are resolved in the
+  (short) index without touching the data;
+* 5%: BF-Tree still ahead, but data-fetch time starts to dominate;
+* >=10%: the B+-Tree generally wins, except on the same-medium
+  configurations where index traversal dominates and the shorter BF-Tree
+  stays competitive;
+* the BF-Trees measured are 1.6x-4x smaller.
+"""
+
+import pytest
+
+from benchmarks.conftest import N_PROBES
+from repro.baselines import BPlusTree
+from repro.core import BFTree, BFTreeConfig
+from repro.harness import format_table, run_probes, us
+from repro.storage import FIVE_CONFIGS
+from repro.workloads import point_probes
+
+HIT_RATES = (0.0, 0.05, 0.10, 0.50, 1.0)
+FPP = 1e-4
+
+
+def _measure(relation):
+    bf = BFTree.bulk_load(relation, "shipdate", BFTreeConfig(fpp=FPP))
+    bp = BPlusTree.bulk_load(relation, "shipdate")
+    rows = []
+    for hit_rate in HIT_RATES:
+        # The paper's misses are dates with no data at all; in a dense
+        # date domain those live outside the loaded window.
+        probes = point_probes(relation, "shipdate", N_PROBES,
+                              hit_rate=hit_rate, miss_mode="outside")
+        for cfg in FIVE_CONFIGS:
+            bf_lat = run_probes(bf, probes, cfg).avg_latency
+            bp_lat = run_probes(bp, probes, cfg).avg_latency
+            rows.append([hit_rate, cfg.name, bf_lat, bp_lat])
+    return bf, bp, rows
+
+
+def test_fig11_tpch_hit_rate(benchmark, emit, tpch_relation):
+    bf, bp, rows = benchmark.pedantic(
+        _measure, args=(tpch_relation,), rounds=1, iterations=1
+    )
+    emit(format_table(
+        ["hit rate", "config", "BF (us)", "B+ (us)", "BF/B+ (norm.)"],
+        [
+            [f"{hr:.0%}", cfg, f"{us(a):.1f}", f"{us(b):.1f}", f"{b / a:.2f}"]
+            for hr, cfg, a, b in rows
+        ],
+        title="Figure 11: TPCH shipdate probes vs hit rate "
+              f"(BF-Tree fpp={FPP:g}, {bp.size_pages / bf.size_pages:.1f}x smaller)",
+    ))
+    table = {(hr, cfg): (a, b) for hr, cfg, a, b in rows}
+
+    # 0% hit rate: the BF-Tree is never behind, and misses are resolved
+    # for a tiny fraction of a hit probe's cost (no data pages touched).
+    # The paper's 20x factor over the B+-Tree does not emerge from pure
+    # I/O counts — at TPCH's cardinality both trees are equally short —
+    # but the direction does (see EXPERIMENTS.md).
+    for cfg in [c.name for c in FIVE_CONFIGS]:
+        bf_lat, bp_lat = table[(0.0, cfg)]
+        assert bf_lat <= bp_lat * 1.01, cfg
+    assert table[(0.0, "MEM/HDD")][0] < table[(1.0, "MEM/HDD")][0] / 100
+
+    # 100% hit rate: data fetch dominates; B+-Tree at least matches the
+    # BF-Tree except on same-medium configs, where the shorter tree keeps
+    # the BF-Tree close (within 25%).
+    for cfg in ("MEM/SSD", "MEM/HDD", "SSD/HDD"):
+        bf_lat, bp_lat = table[(1.0, cfg)]
+        assert bf_lat >= bp_lat * 0.95, cfg
+    bf_lat, bp_lat = table[(1.0, "SSD/SSD")]
+    assert bf_lat <= bp_lat * 1.25
+
+    # Size band: the paper reports 1.6x-4x smaller for TPCH.
+    assert 1.3 < bp.size_pages / bf.size_pages < 8

@@ -1,0 +1,97 @@
+"""Figure 12: smart-home dataset — BF-Tree vs B+-Tree vs FD-Tree.
+
+The index is built on the SHD timestamp (average cardinality 52, heavy
+tail to thousands), probed with 100% hit rate — the hardest case for
+BF-Trees per §6.4.  Panel (a): cold caches, five configurations, optimal
+BF-Tree vs B+-Tree with the capacity gain.  Panel (b): warm caches with
+FD-Tree included.
+
+Paper claims checked: BF-Tree matches the B+-Tree at a 2x-3x capacity
+gain; FD-Tree performs like both when data is on HDD and trails on
+SSD/SSD.
+"""
+
+from benchmarks.conftest import N_PROBES
+from repro.baselines import BPlusTree, FDTree
+from repro.core import BFTree, BFTreeConfig
+from repro.harness import format_table, run_probes, us
+from repro.storage import FIVE_CONFIGS
+from repro.workloads import point_probes
+
+FPP_CANDIDATES = (2e-2, 2e-3, 2e-4, 2e-5)
+WARM_CONFIGS = ("SSD/SSD", "SSD/HDD", "HDD/HDD")
+
+
+def _measure(relation):
+    probes = point_probes(relation, "timestamp", N_PROBES, hit_rate=1.0)
+    bp = BPlusTree.bulk_load(relation, "timestamp")
+    fd = FDTree.bulk_load(relation, "timestamp")
+    trees = {
+        fpp: BFTree.bulk_load(relation, "timestamp", BFTreeConfig(fpp=fpp))
+        for fpp in FPP_CANDIDATES
+    }
+    cold_rows = []
+    for cfg in FIVE_CONFIGS:
+        bp_lat = run_probes(bp, probes, cfg).avg_latency
+        best_fpp, best_lat = min(
+            ((fpp, run_probes(tree, probes, cfg).avg_latency)
+             for fpp, tree in trees.items()),
+            key=lambda pair: pair[1],
+        )
+        gain = bp.size_pages / trees[best_fpp].size_pages
+        cold_rows.append([cfg.name, best_fpp, best_lat, bp_lat, gain])
+    warm_rows = []
+    for name in WARM_CONFIGS:
+        bp_lat = run_probes(bp, probes, name, warm=True).avg_latency
+        fd_lat = run_probes(fd, probes, name, warm=True).avg_latency
+        best_fpp, best_lat = min(
+            ((fpp, run_probes(tree, probes, name, warm=True).avg_latency)
+             for fpp, tree in trees.items()),
+            key=lambda pair: pair[1],
+        )
+        gain = bp.size_pages / trees[best_fpp].size_pages
+        warm_rows.append([name, best_fpp, best_lat, bp_lat, fd_lat, gain])
+    return cold_rows, warm_rows
+
+
+def test_fig12_shd(benchmark, emit, shd_relation):
+    cold_rows, warm_rows = benchmark.pedantic(
+        _measure, args=(shd_relation,), rounds=1, iterations=1
+    )
+    emit(format_table(
+        ["config", "best fpp", "BF (us)", "B+ (us)", "capacity gain"],
+        [
+            [c, f"{f:g}", f"{us(a):.1f}", f"{us(b):.1f}", f"{g:.1f}x"]
+            for c, f, a, b, g in cold_rows
+        ],
+        title="Figure 12(a): SHD timestamp probes, cold caches",
+    ))
+    emit(format_table(
+        ["config", "best fpp", "BF (us)", "B+ (us)", "FD (us)",
+         "capacity gain"],
+        [
+            [c, f"{f:g}", f"{us(a):.1f}", f"{us(b):.1f}", f"{us(d):.1f}",
+             f"{g:.1f}x"]
+            for c, f, a, b, d, g in warm_rows
+        ],
+        title="Figure 12(b): SHD with warm caches (FD-Tree included)",
+    ))
+
+    # Cold: the optimal BF-Tree stays close to the B+-Tree while being at
+    # least 2x smaller (paper: gains 2x-3x with matching latency; our
+    # simulator charges the BF-Tree ~1 extra page per probe of
+    # group-granularity overfetch, hence the 25% band on the SSD-data
+    # configurations where that page is visible).
+    for config, __, bf_lat, bp_lat, gain in cold_rows:
+        tolerance = 1.25 if config.endswith("SSD") else 1.10
+        assert bf_lat <= bp_lat * tolerance, config
+        assert gain >= 2.0, config
+
+    # Warm: FD-Tree ~ B+-Tree when data on HDD (paper's headline for
+    # Fig 12b); on SSD/SSD it cannot beat the B+-Tree.
+    warm = {row[0]: row for row in warm_rows}
+    for config in ("SSD/HDD", "HDD/HDD"):
+        __, __, bf_lat, bp_lat, fd_lat, __ = warm[config]
+        assert abs(fd_lat - bp_lat) / bp_lat < 0.15, config
+    __, __, bf_lat, bp_lat, fd_lat, __ = warm["SSD/SSD"]
+    assert fd_lat >= bp_lat * 0.95

@@ -1,0 +1,63 @@
+"""Figure 13: range-scan I/O of BF-Trees normalized to B+-Trees.
+
+Scans of 1%, 5%, 10% and 20% of the PK domain, sweeping fpp.  The
+BF-Tree reads its boundary partitions in full — that is the overhead the
+figure quantifies.  Paper claims checked:
+
+* overhead shrinks as fpp decreases (partitions hold fewer values);
+* for ranges >= 5% the overhead is negligible at fpp <= 1e-4;
+* for 1% ranges the overhead stays under ~20% once fpp <= 1e-6.
+"""
+
+from benchmarks.conftest import FPP_GRID
+from repro.harness import format_table
+from repro.workloads import FIGURE13_FRACTIONS, range_queries
+
+FPPS = [f for f in FPP_GRID if f <= 0.1]
+
+
+def _measure(relation, bf_trees, bp_tree):
+    results = {}
+    for fraction in FIGURE13_FRACTIONS:
+        queries = range_queries(relation, "pk", fraction, n_queries=8)
+        bp_pages = sum(
+            bp_tree.range_scan(q.lo, q.hi).pages_read for q in queries
+        )
+        for fpp in FPPS:
+            bf_pages = sum(
+                bf_trees[fpp].range_scan(q.lo, q.hi).pages_read
+                for q in queries
+            )
+            results[(fraction, fpp)] = bf_pages / bp_pages
+    return results
+
+
+def test_fig13_range_scan_io(benchmark, emit, synth_relation, pk_bf_trees,
+                             pk_bp_tree):
+    ratios = benchmark.pedantic(
+        _measure, args=(synth_relation, pk_bf_trees, pk_bp_tree),
+        rounds=1, iterations=1,
+    )
+    emit(format_table(
+        ["fpp"] + [f"{f:.0%} scan" for f in FIGURE13_FRACTIONS],
+        [
+            [f"{fpp:g}"] + [
+                f"{ratios[(fraction, fpp)]:.3f}"
+                for fraction in FIGURE13_FRACTIONS
+            ]
+            for fpp in FPPS
+        ],
+        title="Figure 13: range-scan data I/O normalized to B+-Tree",
+    ))
+
+    # Overhead decreases with fpp for the narrow scans.
+    assert ratios[(0.01, 0.1)] >= ratios[(0.01, 1e-8)]
+    # >=5% scans: negligible overhead at tight fpp.
+    for fraction in (0.05, 0.10, 0.20):
+        assert ratios[(fraction, 2e-4)] < 1.30
+        assert ratios[(fraction, 1e-8)] < 1.15
+    # 1% scans: bounded overhead once fpp is tight.
+    assert ratios[(0.01, 1e-8)] < 1.6
+    assert ratios[(0.01, 1e-15)] < 1.4
+    # Wider scans always amortize better than narrow ones.
+    assert ratios[(0.20, 2e-4)] <= ratios[(0.01, 2e-4)]

@@ -1,0 +1,95 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Scale note: the paper's synthetic relation is 1 GB (4M x 256 B tuples).
+Simulated time is linear in tuple count and every size ratio is scale-free
+(the paper itself notes the capacity gain "remains the same for any file
+size"), so the benchmarks default to a 32 MB relation (131072 tuples,
+8192 data pages) to keep wall-clock time reasonable.  Set the environment
+variable ``REPRO_SCALE`` to scale tuple counts up or down.
+
+Every benchmark prints the paper-style rows/series through
+``emit`` (bypassing pytest capture) so that
+``pytest benchmarks/ --benchmark-only`` output contains the reproduction
+tables alongside pytest-benchmark's wall-clock table.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import BPlusTree
+from repro.core import BFTree, BFTreeConfig
+from repro.workloads import shd, synthetic, tpch
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+SYNTH_TUPLES = int(131072 * SCALE)
+TPCH_TUPLES = int(65536 * SCALE)
+SHD_TUPLES = int(65536 * SCALE)
+
+#: The fpp sweep of Figures 5-10 / Tables 2-3 (paper: 0.2 down to 1e-15).
+FPP_GRID = (0.2, 0.1, 0.02, 2e-3, 2e-4, 2e-6, 1e-8, 1e-15)
+
+N_PROBES = max(50, int(200 * min(1.0, SCALE)))
+
+
+@pytest.fixture(scope="session")
+def emit(request):
+    """Print a reproduction table to the real terminal (uncaptured)."""
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _emit(text: str) -> None:
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print("\n" + text, flush=True)
+        else:  # pragma: no cover - no capture plugin
+            print("\n" + text, flush=True)
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def synth_relation():
+    return synthetic.generate(SYNTH_TUPLES)
+
+
+@pytest.fixture(scope="session")
+def tpch_relation():
+    return tpch.generate(TPCH_TUPLES)
+
+
+@pytest.fixture(scope="session")
+def shd_relation():
+    return shd.generate(SHD_TUPLES)
+
+
+@pytest.fixture(scope="session")
+def pk_bf_trees(synth_relation):
+    """One BF-Tree per fpp on the primary key (shared across benches)."""
+    return {
+        fpp: BFTree.bulk_load(
+            synth_relation, "pk", BFTreeConfig(fpp=fpp), unique=True
+        )
+        for fpp in FPP_GRID
+    }
+
+
+@pytest.fixture(scope="session")
+def att1_bf_trees(synth_relation):
+    """One BF-Tree per fpp on the non-unique ATT1 column."""
+    return {
+        fpp: BFTree.bulk_load(synth_relation, "att1", BFTreeConfig(fpp=fpp))
+        for fpp in FPP_GRID
+    }
+
+
+@pytest.fixture(scope="session")
+def pk_bp_tree(synth_relation):
+    return BPlusTree.bulk_load(synth_relation, "pk", unique=True)
+
+
+@pytest.fixture(scope="session")
+def att1_bp_tree(synth_relation):
+    return BPlusTree.bulk_load(synth_relation, "att1")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Capacity tuning: choosing an fpp for your storage budget.
+
+The BF-Tree's knob is the false-positive probability: looser means a
+smaller index but more wasted page reads.  This example sweeps fpp on
+the synthetic primary key, prints the size/latency frontier for each of
+the paper's five storage configurations, and reports the break-even
+capacity gain per configuration (the Figure 6 analysis) together with
+the analytical model's prediction (Section 5) for the same setup.
+
+Run with::
+
+    python examples/capacity_tuning.py
+"""
+
+from repro.harness import (
+    break_even_table,
+    format_table,
+    sweep_bf_tree,
+    us,
+)
+from repro.model import ModelParams, bf_cost, bf_size, bp_cost, bp_size
+from repro.workloads import point_probes, synthetic
+
+FPPS = (0.2, 0.02, 2e-3, 2e-4, 2e-6, 1e-8)
+
+
+def main() -> None:
+    relation = synthetic.generate(n_tuples=32768)
+    probes = point_probes(relation, "pk", n_probes=120, hit_rate=1.0)
+    print("sweeping fpp over the five storage configurations "
+          "(this builds one tree per fpp)...")
+    sweep = sweep_bf_tree(relation, "pk", probes, fpps=FPPS, unique=True)
+
+    rows = []
+    for fpp in sweep.fpps:
+        gain = sweep.capacity_gain(fpp)
+        lat = {c: sweep.latency(fpp, c) for c in sweep.configs}
+        rows.append(
+            [f"{fpp:g}", f"{gain:.1f}x"]
+            + [f"{us(lat[c]):.0f}" for c in sweep.configs]
+        )
+    print(format_table(
+        ["fpp", "gain"] + [f"{c} (us)" for c in sweep.configs], rows,
+        title="\nsize/latency frontier",
+    ))
+
+    table = break_even_table(sweep, threshold=0.98)
+    print(format_table(
+        ["config", "B+-Tree (us)", "break-even gain"],
+        [
+            [c, f"{us(sweep.baseline_latency[c]):.0f}",
+             f"{g:.1f}x" if g else "never"]
+            for c, g in table.items()
+        ],
+        title="\nbreak-even capacity gain per configuration (98% parity)",
+    ))
+
+    # The analytical model's view of the same trade-off (index on SSD,
+    # data on HDD, the Figure 4 cost ratios).
+    params = ModelParams(
+        notuples=relation.ntuples, tuplesize=256, keysize=8, avgcard=1.0,
+    )
+    print("\nanalytical model (Eq. 12/13, index SSD / data HDD):")
+    for fpp in FPPS:
+        p = params.with_fpp(fpp)
+        print(f"  fpp={fpp:<8g} predicted time ratio "
+              f"{bf_cost(p) / bp_cost(p):5.2f}, size ratio "
+              f"{bf_size(p) / bp_size(p):6.4f}")
+
+
+if __name__ == "__main__":
+    main()

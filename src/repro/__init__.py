@@ -1,0 +1,37 @@
+"""repro — a full reproduction of "BF-Tree: Approximate Tree Indexing"
+(Athanassoulis & Ailamaki, PVLDB 7(14), 2014).
+
+Top-level re-exports cover the public API a downstream user needs:
+
+* :class:`BFTree` / :class:`BFTreeConfig` — the paper's contribution.
+* Baselines: B+-Tree, hash index, FD-Tree, SILT, sorted-file search
+  (in :mod:`repro.baselines`).
+* Storage simulator: :func:`build_stack`, the five paper configurations.
+* Workload generators for the synthetic relation R, TPCH lineitem dates
+  and the smart-home dataset (in :mod:`repro.workloads`).
+"""
+
+from repro.core import BFTree, BFTreeConfig, BloomFilter
+from repro.storage import (
+    FIVE_CONFIGS,
+    PAGE_SIZE,
+    Relation,
+    StorageConfig,
+    StorageStack,
+    build_stack,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BFTree",
+    "BFTreeConfig",
+    "BloomFilter",
+    "FIVE_CONFIGS",
+    "PAGE_SIZE",
+    "Relation",
+    "StorageConfig",
+    "StorageStack",
+    "build_stack",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""In-memory hash index baseline (paper §6: "an in-memory hash index").
+
+A point probe costs one hash lookup (CPU) plus the data-page fetches for
+the matching rids.  The paper only evaluates the hash index memory-
+resident, so there is no device-resident variant; the size accounting
+reports the memory footprint a bucketized hash table would need, for the
+capacity-gain comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.bf_tree import SearchResult
+from repro.storage.clock import CPU_HASH_PROBE
+from repro.storage.config import StorageStack
+from repro.storage.device import PAGE_SIZE, Device
+from repro.storage.relation import Relation
+
+
+class HashIndex:
+    """Exact key -> rid-list map held in main memory."""
+
+    #: Typical open-addressing overhead on top of raw entry bytes.
+    LOAD_FACTOR = 0.7
+
+    def __init__(
+        self,
+        relation: Relation,
+        key_column: str,
+        unique: bool = False,
+        key_size: int = 8,
+        ptr_size: int = 8,
+    ) -> None:
+        self.relation = relation
+        self.key_column = key_column
+        self.unique = unique
+        self.key_size = key_size
+        self.ptr_size = ptr_size
+        self._map: dict[object, list[int]] = defaultdict(list)
+        self._data_device: Device | None = None
+        self._clock = None
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        key_column: str,
+        unique: bool = False,
+    ) -> "HashIndex":
+        """Hash every (key, tid) pair of the column."""
+        index = cls(relation, key_column, unique)
+        values = np.asarray(relation.columns[key_column])
+        for tid, key in enumerate(values):
+            index._map[key.item()].append(tid)
+        return index
+
+    # ------------------------------------------------------------------
+    def bind(self, stack: StorageStack, warm: bool = False) -> None:
+        """Attach to a storage stack (index stays in memory; warm is a no-op)."""
+        self._data_device = stack.data_device
+        self._clock = stack.clock
+
+    def unbind(self) -> None:
+        self._data_device = None
+        self._clock = None
+
+    # ------------------------------------------------------------------
+    def search(self, key) -> SearchResult:
+        """Constant-time probe, then fetch matching data pages."""
+        if self._clock is not None:
+            self._clock.advance(CPU_HASH_PROBE)
+        tids = self._map.get(key)
+        if not tids:
+            return SearchResult(found=False)
+        result = SearchResult(found=True, matches=len(tids), tids=list(tids))
+        device = self._data_device
+        pages = sorted({self.relation.page_of(t) for t in tids})
+        for i, pid in enumerate(pages):
+            if device is not None:
+                device.read_page(pid, sequential=i > 0)
+                self.relation.scan_page_for_key(
+                    self.relation.view_page(pid), self.key_column, key, device,
+                    stop_early=self.unique,
+                )
+            result.pages_read += 1
+        return result
+
+    def insert(self, key, tid: int) -> None:
+        self._map[key].append(tid)
+
+    def delete(self, key, tid: int | None = None) -> bool:
+        if key not in self._map:
+            return False
+        if tid is None:
+            del self._map[key]
+            return True
+        try:
+            self._map[key].remove(tid)
+        except ValueError:
+            return False
+        if not self._map[key]:
+            del self._map[key]
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        return len(self._map)
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory a bucketized table would occupy at the load factor."""
+        entries = sum(len(v) for v in self._map.values())
+        raw = self.n_keys * self.key_size + entries * self.ptr_size
+        return int(raw / self.LOAD_FACTOR)
+
+    @property
+    def size_pages(self) -> int:
+        return -(-self.size_bytes // PAGE_SIZE)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HashIndex(keys={self.n_keys}, pages={self.size_pages})"

@@ -1,0 +1,279 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands::
+
+    python -m repro sizes   --workload synthetic --column pk
+    python -m repro probe   --index bf --fpp 1e-3 --config MEM/SSD
+    python -m repro sweep   --column pk --probes 200
+    python -m repro model   --fpp 1e-3
+    python -m repro workloads
+
+Every command prints the same tables the benchmark harness produces, so
+results are scriptable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.baselines import (
+    BPlusTree,
+    FDTree,
+    HashIndex,
+    SiltStore,
+    SortedFileSearch,
+)
+from repro.core import BFTree, BFTreeConfig
+from repro.harness import (
+    break_even_table,
+    format_table,
+    run_probes,
+    sweep_bf_tree,
+    us,
+)
+from repro.model import FIGURE4_PARAMS, compare_at, summarize
+from repro.storage import CONFIGS_BY_NAME, FIVE_CONFIGS
+from repro.workloads import point_probes, shd, synthetic, tpch
+
+WORKLOADS: dict[str, Callable] = {
+    "synthetic": lambda n: synthetic.generate(n),
+    "tpch": lambda n: tpch.generate(n),
+    "shd": lambda n: shd.generate(n),
+}
+
+DEFAULT_COLUMNS = {"synthetic": "pk", "tpch": "shipdate", "shd": "timestamp"}
+
+
+def _build_relation(args: argparse.Namespace):
+    try:
+        factory = WORKLOADS[args.workload]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; pick from {sorted(WORKLOADS)}"
+        )
+    relation = factory(args.tuples)
+    column = args.column or DEFAULT_COLUMNS[args.workload]
+    if column not in relation.columns:
+        raise SystemExit(
+            f"column {column!r} not in workload {args.workload!r} "
+            f"(have {sorted(relation.columns)})"
+        )
+    return relation, column
+
+
+def _build_index(kind: str, relation, column: str, fpp: float,
+                 unique: bool):
+    builders: dict[str, Callable] = {
+        "bf": lambda: BFTree.bulk_load(
+            relation, column, BFTreeConfig(fpp=fpp), unique=unique
+        ),
+        "bplus": lambda: BPlusTree.bulk_load(relation, column, unique=unique),
+        "hash": lambda: HashIndex.build(relation, column, unique=unique),
+        "fd": lambda: FDTree.bulk_load(relation, column, unique=unique),
+        "silt": lambda: SiltStore.build(relation, column),
+        "binsearch": lambda: SortedFileSearch(relation, column, unique=unique),
+    }
+    try:
+        return builders[kind]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown index {kind!r}; pick from {sorted(builders)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_sizes(args: argparse.Namespace) -> int:
+    relation, column = _build_relation(args)
+    unique = column == "pk"
+    bp = BPlusTree.bulk_load(relation, column, unique=unique)
+    rows = [["B+-Tree", "-", bp.size_pages, "-"]]
+    for fpp in args.fpp:
+        tree = BFTree.bulk_load(relation, column, BFTreeConfig(fpp=fpp),
+                                unique=unique)
+        rows.append([
+            "BF-Tree", f"{fpp:g}", tree.size_pages,
+            f"{bp.size_pages / tree.size_pages:.2f}x",
+        ])
+    print(format_table(
+        ["index", "fpp", "pages", "capacity gain"], rows,
+        title=f"Index sizes: {args.workload}.{column} "
+              f"({relation.ntuples} tuples)",
+    ))
+    return 0
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    relation, column = _build_relation(args)
+    unique = column == "pk"
+    index = _build_index(args.index, relation, column, args.fpp[0], unique)
+    probes = point_probes(relation, column, args.probes,
+                          hit_rate=args.hit_rate)
+    configs = (
+        [CONFIGS_BY_NAME[args.config]] if args.config else list(FIVE_CONFIGS)
+    )
+    rows = []
+    for config in configs:
+        stats = run_probes(index, probes, config, warm=args.warm)
+        rows.append([
+            config.name, f"{us(stats.avg_latency):.1f}",
+            f"{stats.false_reads_per_search:.3f}",
+            f"{stats.data_reads_per_search:.2f}",
+            f"{stats.index_reads_per_search:.2f}",
+            f"{stats.hit_rate:.0%}",
+        ])
+    size = getattr(index, "size_pages", 0)
+    print(format_table(
+        ["config", "latency (us)", "false reads", "data reads",
+         "index reads", "hit rate"],
+        rows,
+        title=f"{args.index} probe on {args.workload}.{column} "
+              f"({size} index pages, warm={args.warm})",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    relation, column = _build_relation(args)
+    unique = column == "pk"
+    probes = point_probes(relation, column, args.probes,
+                          hit_rate=args.hit_rate)
+    sweep = sweep_bf_tree(relation, column, probes, fpps=args.fpp,
+                          unique=unique, warm=args.warm)
+    rows = []
+    for fpp in sweep.fpps:
+        rows.append(
+            [f"{fpp:g}", f"{sweep.capacity_gain(fpp):.1f}x"]
+            + [
+                f"{sweep.normalized_performance(fpp, c):.3f}"
+                for c in sweep.configs
+            ]
+        )
+    print(format_table(
+        ["fpp", "gain"] + sweep.configs, rows,
+        title=f"BF-Tree sweep on {args.workload}.{column} "
+              "(normalized performance vs B+-Tree; >1 means BF wins)",
+    ))
+    table = break_even_table(sweep, threshold=args.parity)
+    print(format_table(
+        ["config", "break-even capacity gain"],
+        [[k, f"{v:.1f}x" if v else "never"] for k, v in table.items()],
+        title=f"break-even points (parity threshold {args.parity})",
+    ))
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    params = FIGURE4_PARAMS.with_fpp(args.fpp[0])
+    summary = summarize(params)
+    print(format_table(
+        ["symbol", "value"],
+        [[k, f"{v:,.2f}"] for k, v in summary.items()],
+        title=f"Section 5 analytical model at fpp={params.fpp:g}",
+    ))
+    point = compare_at(params)
+    print(format_table(
+        ["series", "normalized to B+-Tree"],
+        [
+            ["BF-Tree time", f"{point.bf_time:.3f}"],
+            ["FD-Tree time", f"{point.fd_time:.3f}"],
+            ["SILT time (trie cached)", f"{point.silt_time_cached:.3f}"],
+            ["SILT time (trie loaded)", f"{point.silt_time_loaded:.3f}"],
+            ["BF-Tree size", f"{point.bf_size:.4f}"],
+            ["compressed B+-Tree size", f"{point.compressed_size:.2f}"],
+            ["SILT size", f"{point.silt_size:.2f}"],
+        ],
+        title="Figure 4 comparison at this fpp",
+    ))
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in WORKLOADS.items():
+        relation = factory(args.tuples)
+        column = DEFAULT_COLUMNS[name]
+        values = relation.columns[column]
+        import numpy as np
+
+        distinct = len(np.unique(np.asarray(values)))
+        rows.append([
+            name, relation.ntuples, relation.npages, column, distinct,
+            f"{relation.ntuples / distinct:.1f}",
+        ])
+    print(format_table(
+        ["workload", "tuples", "pages", "key column", "distinct keys",
+         "avg cardinality"],
+        rows,
+        title="Workload generators",
+    ))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="synthetic",
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--column", default=None,
+                        help="indexed column (defaults per workload)")
+    parser.add_argument("--tuples", type=int, default=65536,
+                        help="relation size in tuples")
+    parser.add_argument("--fpp", type=float, nargs="+",
+                        default=[0.2, 0.02, 2e-3, 2e-4, 2e-6],
+                        help="false-positive probabilities")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BF-Tree (VLDB 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sizes = sub.add_parser("sizes", help="Table-2-style index sizes")
+    _add_common(p_sizes)
+    p_sizes.set_defaults(func=cmd_sizes)
+
+    p_probe = sub.add_parser("probe", help="measure point probes")
+    _add_common(p_probe)
+    p_probe.add_argument("--index", default="bf",
+                         choices=["bf", "bplus", "hash", "fd", "silt",
+                                  "binsearch"])
+    p_probe.add_argument("--config", default=None,
+                         choices=sorted(CONFIGS_BY_NAME))
+    p_probe.add_argument("--probes", type=int, default=200)
+    p_probe.add_argument("--hit-rate", type=float, default=1.0)
+    p_probe.add_argument("--warm", action="store_true")
+    p_probe.set_defaults(func=cmd_probe)
+
+    p_sweep = sub.add_parser("sweep", help="fpp sweep + break-even analysis")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--probes", type=int, default=150)
+    p_sweep.add_argument("--hit-rate", type=float, default=1.0)
+    p_sweep.add_argument("--warm", action="store_true")
+    p_sweep.add_argument("--parity", type=float, default=0.98)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_model = sub.add_parser("model", help="Section 5 analytical model")
+    p_model.add_argument("--fpp", type=float, nargs="+", default=[1e-3])
+    p_model.set_defaults(func=cmd_model)
+
+    p_wl = sub.add_parser("workloads", help="workload generator statistics")
+    p_wl.add_argument("--tuples", type=int, default=32768)
+    p_wl.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

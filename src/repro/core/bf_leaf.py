@@ -1,0 +1,343 @@
+"""BF-leaf: the Bloom-filter leaf node of a BF-Tree (paper §4.1).
+
+A BF-leaf corresponds to a contiguous *page range* of the data file and a
+*key range*, and holds ``S`` Bloom filters.  Filter ``i`` answers "does key
+``k`` appear in page group ``i``" for consecutive groups of
+``pages_per_bf`` data pages starting at ``min_pid``.  The leaf also keeps
+the number of indexed keys (to police the false-positive guarantee), the
+key range, and a next-leaf pointer for range scans.
+
+Sizing follows the split property of the paper's §3: the leaf has a fixed
+bit budget (one index page minus a header), carved into equal filters of
+``bits_per_bf`` bits.  As long as the ratio of total bits to total indexed
+keys stays at ``-ln(fpp) / ln^2(2)`` the leaf-wide false-positive
+probability is the configured ``fpp`` regardless of how many filters the
+budget is split into.
+
+Update support (paper §7): the leaf keeps a *deleted-key list* so deletes
+do not degrade the fpp, and tracks ``extra_inserts`` beyond nominal
+capacity so the effective fpp after overflowing inserts follows
+Equation 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bloom import (
+    BloomFilter,
+    bits_for_capacity,
+    fpp_after_inserts,
+    optimal_hash_count,
+)
+
+LEAF_HEADER_BYTES = 48
+"""min_key, max_key, min_pid, S, #keys, next pointer, geometry fields."""
+
+
+@dataclass
+class BFLeafGeometry:
+    """Static sizing shared by all leaves of one BF-Tree.
+
+    ``filter_kind`` selects the membership structure: ``"plain"`` (the
+    paper's Bloom filters + deleted-key list) or ``"counting"`` (§7's
+    delete-supporting variant, 4-bit counters, 4x the space per filter —
+    the page budget then fits a quarter as many filters).
+    """
+
+    fpp: float
+    bits_per_bf: int
+    pages_per_bf: int
+    max_filters: int          # S_max: filters fitting the page budget
+    hash_count: int
+    page_size: int
+    filter_kind: str = "plain"
+    counter_bits: int = 4
+
+    @property
+    def max_pages(self) -> int:
+        """Data pages one leaf can cover."""
+        return self.max_filters * self.pages_per_bf
+
+    @property
+    def key_capacity(self) -> int:
+        """Distinct keys one leaf indexes at the nominal fpp (Eq. 5)."""
+        bits_per_key = bits_for_capacity(1, self.fpp)
+        return max(1, int(self.max_filters * self.bits_per_bf / bits_per_key))
+
+    @classmethod
+    def plan(
+        cls,
+        fpp: float,
+        expected_keys_per_group: float,
+        pages_per_bf: int = 1,
+        hash_count: int | None = None,
+        page_size: int = 4096,
+        filter_kind: str = "plain",
+        counter_bits: int = 4,
+    ) -> "BFLeafGeometry":
+        """Carve one index page into per-group filters for the target fpp.
+
+        ``expected_keys_per_group`` is the anticipated number of distinct
+        keys falling into one group of ``pages_per_bf`` data pages; for a
+        clustered attribute it is ``pages_per_bf * tuples_per_page /
+        avg_cardinality`` (at least 1).
+
+        ``hash_count=None`` picks the optimal k for the resulting
+        bits-per-key ratio, which makes the realized false-positive rate
+        track the nominal ``fpp`` Equation 1 promises.  The paper's
+        prototype fixes k=3 ("typically enough to have hashing close to
+        ideal"); pass ``hash_count=3`` to mirror that — at very small fpp
+        the realized rate then saturates around 1e-4.
+        """
+        if pages_per_bf < 1:
+            raise ValueError("pages_per_bf must be >= 1")
+        if filter_kind not in ("plain", "counting"):
+            raise ValueError(
+                f"filter_kind must be 'plain' or 'counting', got {filter_kind!r}"
+            )
+        budget_bits = (page_size - LEAF_HEADER_BYTES) * 8
+        per_group = max(1.0, expected_keys_per_group)
+        bits_per_bf = max(4, round(bits_for_capacity(per_group, fpp)))
+        slot_bits = bits_per_bf * (counter_bits if filter_kind == "counting" else 1)
+        max_filters = max(1, budget_bits // slot_bits)
+        if hash_count is None:
+            hash_count = min(32, optimal_hash_count(bits_per_bf, per_group))
+        return cls(
+            fpp=fpp,
+            bits_per_bf=bits_per_bf,
+            pages_per_bf=pages_per_bf,
+            max_filters=max_filters,
+            hash_count=hash_count,
+            page_size=page_size,
+            filter_kind=filter_kind,
+            counter_bits=counter_bits,
+        )
+
+
+@dataclass
+class BFLeaf:
+    """One Bloom-filter leaf (see module docstring)."""
+
+    node_id: int
+    geometry: BFLeafGeometry
+    min_pid: int
+    min_key: object = None
+    max_key: object = None
+    nkeys: int = 0                      # indexed (key, group) insertions
+    next_leaf_id: int | None = None
+    prev_leaf_id: int | None = None
+    filters: list[BloomFilter] = field(default_factory=list)
+    pages_covered: int = 0              # may be < len(filters) * pages_per_bf
+    deleted_keys: set = field(default_factory=set)
+    extra_inserts: int = 0              # inserts beyond nominal capacity
+    #: Pages *before* ``min_pid`` that also contain ``min_key``.  When a
+    #: key's duplicates straddle a leaf boundary, Algorithm 2 lets sibling
+    #: page ranges overlap; we record the overlap here so a probe for
+    #: ``min_key`` also fetches the preceding pages.
+    spill_back_pages: int = 0
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def max_pid(self) -> int:
+        """Last data page covered (inclusive)."""
+        return self.min_pid + max(self.pages_covered, 1) - 1
+
+    @property
+    def nfilters(self) -> int:
+        return len(self.filters)
+
+    @property
+    def key_capacity(self) -> int:
+        return self.geometry.key_capacity
+
+    @property
+    def is_full(self) -> bool:
+        """Leaf cannot take another page group within its page budget."""
+        return self.nfilters >= self.geometry.max_filters
+
+    def covers_key(self, key) -> bool:
+        if self.min_key is None:
+            return False
+        return self.min_key <= key <= self.max_key
+
+    def covers_pid(self, pid: int) -> bool:
+        return self.min_pid <= pid < self.min_pid + self.pages_covered
+
+    def group_of(self, pid: int) -> int:
+        """Filter index covering data page ``pid``."""
+        if pid < self.min_pid:
+            raise ValueError(f"page {pid} below leaf range start {self.min_pid}")
+        return (pid - self.min_pid) // self.geometry.pages_per_bf
+
+    def group_page_range(self, group: int) -> tuple[int, int]:
+        """(first_pid, npages) of filter ``group``, clipped to coverage."""
+        g = self.geometry.pages_per_bf
+        first = self.min_pid + group * g
+        npages = min(g, self.min_pid + self.pages_covered - first)
+        return first, max(npages, 0)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, key, pid: int) -> None:
+        """Index ``key`` as present on data page ``pid``.
+
+        Grows the filter list to cover ``pid`` if needed; raises if the
+        page budget cannot reach that far (caller must split first).
+        """
+        group = self.group_of(pid)
+        if group >= self.geometry.max_filters:
+            raise LeafOverflow(
+                f"page {pid} needs filter {group} but leaf holds at most "
+                f"{self.geometry.max_filters}"
+            )
+        while self.nfilters <= group:
+            self.filters.append(self._new_filter())
+        self.filters[group].add(key)
+        self.pages_covered = max(self.pages_covered, pid - self.min_pid + 1)
+        self.nkeys += 1
+        if self.nkeys > self.key_capacity:
+            self.extra_inserts += 1
+        if self.min_key is None or key < self.min_key:
+            self.min_key = key
+        if self.max_key is None or key > self.max_key:
+            self.max_key = key
+        self.deleted_keys.discard(key)
+
+    def add_page_keys(self, keys, pid: int) -> None:
+        """Vectorized :meth:`add` of one page's distinct keys (bulk load).
+
+        ``keys`` must be a sorted NumPy integer array of the distinct keys
+        present on data page ``pid``.
+        """
+        if len(keys) == 0:
+            return
+        group = self.group_of(pid)
+        if group >= self.geometry.max_filters:
+            raise LeafOverflow(
+                f"page {pid} needs filter {group} but leaf holds at most "
+                f"{self.geometry.max_filters}"
+            )
+        while self.nfilters <= group:
+            self.filters.append(self._new_filter())
+        self.filters[group].bulk_add(keys)
+        self.pages_covered = max(self.pages_covered, pid - self.min_pid + 1)
+        self.nkeys += len(keys)
+        if self.nkeys > self.key_capacity:
+            self.extra_inserts = self.nkeys - self.key_capacity
+        first, last = keys[0].item(), keys[-1].item()
+        if self.min_key is None or first < self.min_key:
+            self.min_key = first
+        if self.max_key is None or last > self.max_key:
+            self.max_key = last
+
+    def _new_filter(self):
+        """Instantiate one membership filter per the leaf's geometry."""
+        if self.geometry.filter_kind == "counting":
+            from repro.core.variants import CountingBloomFilter
+
+            return CountingBloomFilter(
+                nbits=self.geometry.bits_per_bf,
+                k=self.geometry.hash_count,
+                seed=self.node_id,
+                counter_bits=self.geometry.counter_bits,
+            )
+        return BloomFilter(
+            nbits=self.geometry.bits_per_bf,
+            k=self.geometry.hash_count,
+            seed=self.node_id,
+        )
+
+    def mark_deleted(self, key) -> None:
+        """Record ``key`` in the deleted list (fpp-preserving delete, §7)."""
+        self.deleted_keys.add(key)
+
+    def remove_key(self, key, pid: int) -> bool:
+        """In-place delete via counter decrement (counting filters only).
+
+        The caller must supply the page the tuple lived on — decrementing
+        a filter the key was never added to would corrupt other keys'
+        counters.
+        """
+        if self.geometry.filter_kind != "counting":
+            raise ValueError(
+                "remove_key requires filter_kind='counting'; plain filters "
+                "delete through the tombstone list (mark_deleted)"
+            )
+        group = self.group_of(pid)
+        if group >= self.nfilters:
+            return False
+        removed = self.filters[group].remove(key)
+        if removed:
+            self.nkeys = max(0, self.nkeys - 1)
+        return removed
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def matching_groups(self, key) -> list[int]:
+        """Indexes of all filters whose membership test matches ``key``.
+
+        Probes *every* filter, as Algorithm 1 dictates; the caller charges
+        CPU per probe via its IOStats.
+        """
+        if key in self.deleted_keys:
+            return []
+        return [i for i, f in enumerate(self.filters) if f.might_contain(key)]
+
+    def matching_page_runs(self, key) -> list[tuple[int, int]]:
+        """(first_pid, npages) runs to fetch for ``key``, merged when adjacent."""
+        runs: list[tuple[int, int]] = []
+        if (
+            self.spill_back_pages
+            and self.min_key is not None
+            and key == self.min_key
+            and key not in self.deleted_keys
+        ):
+            runs.append((self.min_pid - self.spill_back_pages,
+                         self.spill_back_pages))
+        for group in self.matching_groups(key):
+            first, npages = self.group_page_range(group)
+            if npages <= 0:
+                continue
+            if runs and runs[-1][0] + runs[-1][1] == first:
+                prev_first, prev_n = runs[-1]
+                runs[-1] = (prev_first, prev_n + npages)
+            else:
+                runs.append((first, npages))
+        return runs
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def bits_used(self) -> int:
+        per_slot = self.geometry.bits_per_bf
+        if self.geometry.filter_kind == "counting":
+            per_slot *= self.geometry.counter_bits
+        return self.nfilters * per_slot
+
+    def effective_fpp(self) -> float:
+        """Nominal fpp adjusted for overflow inserts (Equation 14)."""
+        if self.nkeys == 0:
+            return 0.0
+        base = self.geometry.fpp
+        if self.extra_inserts == 0:
+            return base
+        nominal = self.nkeys - self.extra_inserts
+        if nominal <= 0:
+            return 1.0
+        return fpp_after_inserts(base, self.extra_inserts / nominal)
+
+    def measured_fill(self) -> float:
+        """Mean fill fraction across populated filters (diagnostics)."""
+        populated = [f for f in self.filters if f.count]
+        if not populated:
+            return 0.0
+        return sum(f.fill_fraction() for f in populated) / len(populated)
+
+
+class LeafOverflow(Exception):
+    """Raised when an insert needs more page coverage than the leaf budget."""

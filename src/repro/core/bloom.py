@@ -1,0 +1,212 @@
+"""Bloom filters and the sizing math of the paper's Section 3.
+
+The paper builds on one identity (its Equation 1, assuming an optimal
+number of hash functions)::
+
+    n = -m * ln^2(2) / ln(p)
+
+relating filter size ``m`` (bits), capacity ``n`` (elements) and false
+positive probability ``p``.  Two properties follow (paper §3):
+
+1. **Split property** — a filter of M bits for N elements at fpp p can be
+   split into S filters of M/S bits for N/S elements each, at the same p.
+   This is what lets a BF-leaf dedicate one small filter per data page.
+2. Halving p costs only logarithmically many extra bits per element.
+
+:class:`BloomFilter` is the runtime structure (bit array + k double-hashed
+probes); the module-level functions are the analytical counterparts used
+by the model in :mod:`repro.model.equations`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.hashing import bloom_positions, bloom_positions_batch, key_to_int
+
+LN2 = math.log(2.0)
+LN2_SQ = LN2 * LN2
+
+DEFAULT_HASH_COUNT = 3
+"""The paper's experiments fix k = 3 hash functions (Section 6.1)."""
+
+
+# ----------------------------------------------------------------------
+# Analytical relations (Equation 1 and friends)
+# ----------------------------------------------------------------------
+def capacity_for_bits(nbits: int | float, fpp: float) -> float:
+    """Equation 1: elements indexable by ``nbits`` bits at ``fpp``."""
+    _check_fpp(fpp)
+    return -nbits * LN2_SQ / math.log(fpp)
+
+def bits_for_capacity(nkeys: int | float, fpp: float) -> float:
+    """Inverse of Equation 1: bits needed for ``nkeys`` elements at ``fpp``."""
+    _check_fpp(fpp)
+    if nkeys < 0:
+        raise ValueError("nkeys must be non-negative")
+    return -nkeys * math.log(fpp) / LN2_SQ
+
+def optimal_hash_count(nbits: int | float, nkeys: int | float) -> int:
+    """Optimal k = (m/n) ln 2, at least 1."""
+    if nkeys <= 0:
+        return 1
+    return max(1, round((nbits / nkeys) * LN2))
+
+def expected_fpp(nbits: int | float, nkeys: int | float, k: int) -> float:
+    """Expected false-positive rate of an m-bit filter with n keys, k hashes.
+
+    Uses the standard (1 - e^{-kn/m})^k approximation.
+    """
+    if nbits <= 0:
+        return 1.0
+    if nkeys <= 0:
+        return 0.0
+    return (1.0 - math.exp(-k * nkeys / nbits)) ** k
+
+def fpp_after_inserts(fpp: float, insert_ratio: float) -> float:
+    """Equation 14: fpp after growing a full filter by ``insert_ratio``.
+
+    ``new_fpp = fpp ** (1 / (1 + insert_ratio))``.  Holds independently of
+    filter size and element count (paper §7).
+    """
+    _check_fpp(fpp)
+    if insert_ratio < 0:
+        raise ValueError("insert_ratio must be non-negative")
+    return fpp ** (1.0 / (1.0 + insert_ratio))
+
+def fpp_after_deletes(fpp: float, delete_ratio: float) -> float:
+    """Paper §7: deleting a fraction d of entries adds d to the fpp."""
+    _check_fpp(fpp)
+    if not 0 <= delete_ratio <= 1:
+        raise ValueError("delete_ratio must be in [0, 1]")
+    return min(1.0, fpp + delete_ratio)
+
+def _check_fpp(fpp: float) -> None:
+    if not 0.0 < fpp < 1.0:
+        raise ValueError(f"fpp must be in (0, 1), got {fpp}")
+
+
+# ----------------------------------------------------------------------
+# Runtime structure
+# ----------------------------------------------------------------------
+class BloomFilter:
+    """A fixed-size Bloom filter over integer-canonicalized keys.
+
+    The bit array is a Python big-int (bit ``i`` set means some key mapped
+    there), which is compact and fast for the page-sized filters (a few
+    hundred to a few thousand bits) a BF-leaf contains.
+    """
+
+    __slots__ = ("nbits", "k", "seed", "_bits", "count")
+
+    def __init__(self, nbits: int, k: int = DEFAULT_HASH_COUNT, seed: int = 0) -> None:
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.nbits = nbits
+        self.k = k
+        self.seed = seed
+        self._bits = 0
+        self.count = 0  # elements added (with multiplicity of distinct adds)
+
+    @classmethod
+    def for_capacity(
+        cls, nkeys: int, fpp: float, k: int = DEFAULT_HASH_COUNT, seed: int = 0
+    ) -> "BloomFilter":
+        """Size a filter for ``nkeys`` elements at target ``fpp`` (Eq. 1)."""
+        nbits = max(1, math.ceil(bits_for_capacity(max(nkeys, 1), fpp)))
+        return cls(nbits=nbits, k=k, seed=seed)
+
+    # ------------------------------------------------------------------
+    def add(self, key: object) -> None:
+        """Insert ``key`` (no-op on the bit level if all bits already set)."""
+        for pos in bloom_positions(key_to_int(key), self.k, self.nbits, self.seed):
+            self._bits |= 1 << pos
+        self.count += 1
+
+    def bulk_add(self, keys) -> None:
+        """Insert a NumPy array of integer keys in one vectorized pass.
+
+        Bit-for-bit identical to adding each key with :meth:`add`; used by
+        bulk loading, where per-key Python overhead dominates build time.
+        """
+        import numpy as np
+
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return
+        positions = bloom_positions_batch(keys, self.k, self.nbits, self.seed)
+        nbytes = -(-self.nbits // 8)
+        buf = np.zeros(nbytes, dtype=np.uint8)
+        flat = np.unique(positions.ravel())
+        np.bitwise_or.at(buf, flat // 8, (1 << (flat % 8)).astype(np.uint8))
+        self._bits |= int.from_bytes(buf.tobytes(), "little")
+        self.count += len(keys)
+
+    def might_contain(self, key: object) -> bool:
+        """Membership test: False is definite, True may be a false positive."""
+        bits = self._bits
+        for pos in bloom_positions(key_to_int(key), self.k, self.nbits, self.seed):
+            if not (bits >> pos) & 1:
+                return False
+        return True
+
+    __contains__ = might_contain
+
+    # ------------------------------------------------------------------
+    def bits_set(self) -> int:
+        """Number of 1-bits in the array."""
+        return self._bits.bit_count()
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set; drives the effective false-positive rate."""
+        return self.bits_set() / self.nbits
+
+    def effective_fpp(self) -> float:
+        """Current false-positive probability given the observed fill.
+
+        A probe false-positives iff all k probed bits are set, so the rate
+        is ``fill_fraction ** k`` under the usual independence assumption.
+        """
+        return self.fill_fraction() ** self.k
+
+    def expected_fpp(self) -> float:
+        """Model-predicted fpp for the number of keys added so far."""
+        return expected_fpp(self.nbits, self.count, self.k)
+
+    def clear(self) -> None:
+        """Reset to an empty filter."""
+        self._bits = 0
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bitwise union of two filters with identical geometry.
+
+        The union answers membership for the union of the key sets (at a
+        higher fpp).  Used when merging sibling BF-leaves.
+        """
+        self._check_compatible(other)
+        merged = BloomFilter(self.nbits, self.k, self.seed)
+        merged._bits = self._bits | other._bits
+        merged.count = self.count + other.count
+        return merged
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if (self.nbits, self.k, self.seed) != (other.nbits, other.k, other.seed):
+            raise ValueError(
+                "incompatible filters: "
+                f"({self.nbits},{self.k},{self.seed}) vs "
+                f"({other.nbits},{other.k},{other.seed})"
+            )
+
+    def size_bytes(self) -> int:
+        """Bytes this filter occupies on an index page."""
+        return -(-self.nbits // 8)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"BloomFilter(nbits={self.nbits}, k={self.k}, "
+            f"count={self.count}, fill={self.fill_fraction():.3f})"
+        )

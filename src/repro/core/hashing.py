@@ -1,0 +1,118 @@
+"""Deterministic 64-bit hashing for Bloom filters.
+
+Bloom filters need k independent hash functions.  We use the standard
+Kirsch-Mitzenmacher double-hashing construction: two independent base
+hashes ``h1`` and ``h2`` derive ``h_i = h1 + i * h2 (mod m)``, which is
+provably as good as k independent hashes for Bloom filters.
+
+The base hashes are splitmix64 finalizers with distinct seeds — fast,
+stateless, deterministic across runs and processes (unlike Python's
+builtin ``hash`` with string randomization).
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+_SEED1 = 0x9E3779B97F4A7C15
+_SEED2 = 0xC2B2AE3D27D4EB4F
+
+
+def splitmix64(value: int) -> int:
+    """One splitmix64 finalizer round over a 64-bit value."""
+    value = (value + _SEED1) & MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (value ^ (value >> 31)) & MASK64
+
+
+def hash_pair(key: int, seed: int = 0) -> tuple[int, int]:
+    """Return two independent 64-bit hashes of ``key``.
+
+    ``seed`` lets distinct Bloom filters decorrelate their bit patterns
+    (used when several filters index overlapping key sets).
+    """
+    h1 = splitmix64((key ^ seed) & MASK64)
+    h2 = splitmix64((key + _SEED2 + (seed << 1)) & MASK64)
+    # h2 must be odd so that successive probe offsets cycle through all
+    # residues for power-of-two table sizes as well.
+    return h1, h2 | 1
+
+
+def bloom_positions(key: int, k: int, nbits: int, seed: int = 0) -> list[int]:
+    """The k bit positions ``key`` maps to in an ``nbits``-bit filter.
+
+    Plain Kirsch-Mitzenmacher double hashing (an arithmetic progression
+    ``h1 + i*h2 mod m``) degrades badly for the small, high-accuracy
+    filters a BF-leaf uses (hundreds of bits, k up to ~20): measured fpp
+    lands orders of magnitude above Equation 1.  We therefore re-mix the
+    running hash per position, which behaves like k independent hashes at
+    the cost of one splitmix64 round each.
+    """
+    if nbits <= 0:
+        raise ValueError("nbits must be positive")
+    h1, h2 = hash_pair(key, seed)
+    positions = []
+    acc = h1
+    for _ in range(k):
+        positions.append(acc % nbits)
+        acc = splitmix64((acc + h2) & MASK64)
+    return positions
+
+
+def bloom_positions_batch(keys, k: int, nbits: int, seed: int = 0):
+    """Vectorized :func:`bloom_positions` for a NumPy integer array.
+
+    Returns a ``(len(keys), k)`` int array of bit positions, computed with
+    the exact arithmetic of the scalar path (uint64 wrap-around), so bulk
+    inserts and scalar probes agree bit-for-bit.
+    """
+    import numpy as np
+
+    if nbits <= 0:
+        raise ValueError("nbits must be positive")
+    keys64 = np.asarray(keys).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        h1 = _splitmix64_vec(keys64 ^ np.uint64(seed & MASK64))
+        h2 = _splitmix64_vec(
+            keys64 + np.uint64((_SEED2 + ((seed << 1) & MASK64)) & MASK64)
+        )
+        h2 = h2 | np.uint64(1)
+        positions = np.empty((len(keys64), k), dtype=np.int64)
+        acc = h1.copy()
+        for i in range(k):
+            positions[:, i] = (acc % np.uint64(nbits)).astype(np.int64)
+            acc = _splitmix64_vec(acc + h2)
+    return positions
+
+
+def _splitmix64_vec(values):
+    """NumPy counterpart of :func:`splitmix64` (same constants, wraps)."""
+    import numpy as np
+
+    with np.errstate(over="ignore"):
+        v = values + np.uint64(_SEED1)
+        v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return v ^ (v >> np.uint64(31))
+
+
+def key_to_int(key: object) -> int:
+    """Canonicalize a key to an int for hashing.
+
+    Integers pass through; bytes/str are folded with an FNV-1a loop.  This
+    keeps the index generic over key types while the hot path stays integer
+    based.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; treat explicitly
+        return int(key)
+    if isinstance(key, int):
+        return key
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, bytes):
+        acc = 0xCBF29CE484222325
+        for byte in key:
+            acc = ((acc ^ byte) * 0x100000001B3) & MASK64
+        return acc
+    raise TypeError(f"unhashable index key type: {type(key).__name__}")

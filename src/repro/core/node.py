@@ -1,0 +1,330 @@
+"""Shared tree machinery: node storage and B+-Tree-style internal levels.
+
+The paper keeps the root and internal nodes of a BF-Tree identical to a
+B+-Tree's ("the code-base of the B+-Tree with minor modifications serves
+as the part of the BF-Tree above the leaves").  We mirror that: both our
+BF-Tree and our baseline B+-Tree place their upper levels in the classes
+here.
+
+* :class:`NodeStore` maps node ids 1:1 to index pages and charges the
+  index device (through an optional :class:`BufferPool`) on every node
+  access.  The warm-cache experiments prefault internal nodes into the
+  pool so only leaf reads cost I/O.
+* :class:`InternalNode` is a <key, child-pointer> page with the fanout of
+  Equation 2 (``pagesize / (ptrsize + keysize)``).
+* :class:`InnerTree` owns the internal levels: bulk build over leaf
+  separators, point descent, and separator insertion with node splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.device import PAGE_SIZE, Device
+
+DEFAULT_KEY_SIZE = 8
+DEFAULT_PTR_SIZE = 8
+
+
+def fanout_for(key_size: int = DEFAULT_KEY_SIZE, ptr_size: int = DEFAULT_PTR_SIZE,
+               page_size: int = PAGE_SIZE) -> int:
+    """Equation 2: internal-node fanout = pagesize / (ptrsize + keysize)."""
+    fanout = page_size // (ptr_size + key_size)
+    if fanout < 2:
+        raise ValueError("page too small for a fanout of 2")
+    return fanout
+
+
+class NodeStore:
+    """Allocates node ids (= index page ids) and charges node accesses.
+
+    ``device`` may be ``None`` for purely in-memory unit tests; in that
+    case accesses are free.
+    """
+
+    def __init__(self, device: Device | None = None,
+                 pool: BufferPool | None = None) -> None:
+        self.device = device
+        self.pool = pool
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    @property
+    def npages(self) -> int:
+        """Index pages allocated so far."""
+        return self._next_id
+
+    def read(self, node_id: int, sequential: bool = False) -> None:
+        """Charge the cost of fetching node ``node_id`` from the index device."""
+        if self.pool is not None:
+            self.pool.read_page(node_id, sequential=sequential)
+        elif self.device is not None:
+            self.device.read_page(node_id, sequential=sequential)
+
+    def write(self, node_id: int, sequential: bool = False) -> None:
+        """Charge the cost of writing node ``node_id`` back."""
+        if self.device is not None:
+            self.device.write_page(node_id, sequential=sequential)
+        if self.pool is not None:
+            self.pool.invalidate(node_id)
+
+
+@dataclass
+class InternalNode:
+    """A <separator keys, child ids> page.
+
+    ``children[i]`` subtends keys < ``keys[i]``; ``children[-1]`` subtends
+    keys >= ``keys[-1]``.  Thus ``len(children) == len(keys) + 1``.
+    """
+
+    node_id: int
+    keys: list = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+    level: int = 1  # 1 = just above the leaves
+
+    def child_for(self, key) -> int:
+        """Child id to descend into for ``key`` (rightmost-biased)."""
+        lo, hi = 0, len(self.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key < self.keys[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self.children[lo]
+
+    def child_index(self, child_id: int) -> int:
+        return self.children.index(child_id)
+
+    @property
+    def nkeys(self) -> int:
+        return len(self.keys)
+
+
+class InnerTree:
+    """Internal levels of a paged tree (everything above the leaves).
+
+    The leaf level is owned by the concrete index (BF-Tree or B+-Tree);
+    this class routes keys to leaf ids and keeps the directory balanced
+    under splits.
+    """
+
+    def __init__(self, store: NodeStore, fanout: int | None = None) -> None:
+        self.store = store
+        self.fanout = fanout if fanout is not None else fanout_for()
+        self.nodes: dict[int, InternalNode] = {}
+        self.root_id: int | None = None
+        self._single_leaf: int | None = None  # degenerate tree of one leaf
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_internal_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def height(self) -> int:
+        """Levels including the leaf level (paper's Eq. 4 / Eq. 7 meaning)."""
+        if self.root_id is None:
+            return 1
+        return self.nodes[self.root_id].level + 1
+
+    # ------------------------------------------------------------------
+    # bulk build
+    # ------------------------------------------------------------------
+    def build(self, separators: list, leaf_ids: list[int]) -> None:
+        """Build the directory over a sorted leaf level.
+
+        ``separators[i]`` is the smallest key of ``leaf_ids[i + 1]`` — the
+        standard B+-Tree bulk-load fence layout, so ``len(separators) ==
+        len(leaf_ids) - 1``.
+        """
+        if len(separators) != len(leaf_ids) - 1:
+            raise ValueError("need exactly len(leaf_ids) - 1 separators")
+        self.nodes.clear()
+        self.root_id = None
+        self._single_leaf = None
+        if len(leaf_ids) == 1:
+            self._single_leaf = leaf_ids[0]
+            return
+        level = 1
+        child_ids = list(leaf_ids)
+        fences = list(separators)
+        while True:
+            nodes, fences = self._build_level(child_ids, fences, level)
+            child_ids = [node.node_id for node in nodes]
+            if len(nodes) == 1:
+                self.root_id = nodes[0].node_id
+                return
+            level += 1
+
+    def _build_level(
+        self, child_ids: list[int], fences: list, level: int
+    ) -> tuple[list[InternalNode], list]:
+        """Pack one level of internal nodes over ``child_ids``."""
+        nodes: list[InternalNode] = []
+        upper_fences: list = []
+        i = 0
+        n = len(child_ids)
+        while i < n:
+            take = min(self.fanout, n - i)
+            # Avoid leaving a dangling single child in the final node.
+            if 0 < n - i - take == 1:
+                take -= 1
+            node = InternalNode(
+                node_id=self.store.allocate(),
+                keys=fences[i : i + take - 1],
+                children=child_ids[i : i + take],
+                level=level,
+            )
+            self.nodes[node.node_id] = node
+            nodes.append(node)
+            if i + take < n:
+                upper_fences.append(fences[i + take - 1])
+            i += take
+        return nodes, upper_fences
+
+    # ------------------------------------------------------------------
+    # descent
+    # ------------------------------------------------------------------
+    def descend(self, key, charge_io: bool = True) -> tuple[int, list[int]]:
+        """Route ``key`` to a leaf id; return (leaf_id, internal path ids).
+
+        Charges one node read per internal level when ``charge_io``.
+        """
+        if self.root_id is None:
+            if self._single_leaf is None:
+                raise LookupError("empty tree")
+            return self._single_leaf, []
+        path: list[int] = []
+        node = self.nodes[self.root_id]
+        while True:
+            if charge_io:
+                self.store.read(node.node_id)
+            path.append(node.node_id)
+            child = node.child_for(key)
+            if node.level == 1:
+                return child, path
+            node = self.nodes[child]
+
+    def iter_leaf_ids(self) -> list[int]:
+        """All leaf ids left-to-right (no I/O charged; structural walk)."""
+        if self.root_id is None:
+            return [] if self._single_leaf is None else [self._single_leaf]
+        result: list[int] = []
+        stack = [self.root_id]
+        # DFS preserving order: expand children right-to-left onto the stack.
+        while stack:
+            node_id = stack.pop()
+            node = self.nodes.get(node_id)
+            if node is None or node.level < 1:
+                result.append(node_id)
+                continue
+            if node.level == 1:
+                result.extend(node.children)
+            else:
+                stack.extend(reversed(node.children))
+        return result
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def register_single_leaf(self, leaf_id: int) -> None:
+        """Initialize a brand-new tree whose only node is one leaf."""
+        if self.root_id is not None or self._single_leaf is not None:
+            raise ValueError("tree is not empty")
+        self._single_leaf = leaf_id
+
+    def split_child(self, old_leaf: int, separator, new_leaf: int) -> None:
+        """Record that ``old_leaf`` split; ``new_leaf`` holds keys >= separator."""
+        if self.root_id is None:
+            if self._single_leaf != old_leaf:
+                raise ValueError("unknown leaf in degenerate tree")
+            root = InternalNode(
+                node_id=self.store.allocate(),
+                keys=[separator],
+                children=[old_leaf, new_leaf],
+                level=1,
+            )
+            self.nodes[root.node_id] = root
+            self.root_id = root.node_id
+            self._single_leaf = None
+            return
+        path = self._path_to_child(old_leaf)
+        parent = path[-1]
+        idx = parent.child_index(old_leaf)
+        parent.keys.insert(idx, separator)
+        parent.children.insert(idx + 1, new_leaf)
+        self.store.write(parent.node_id)
+        self._split_up(path)
+
+    def _path_to_child(self, leaf_id: int) -> list[InternalNode]:
+        """Internal path (root..parent) leading to ``leaf_id`` (structural)."""
+        assert self.root_id is not None
+        node = self.nodes[self.root_id]
+        path = [node]
+        while node.level > 1:
+            # Structural search: find the child subtree containing leaf_id.
+            for child in node.children:
+                subtree = self.nodes[child]
+                if self._subtree_contains(subtree, leaf_id):
+                    node = subtree
+                    path.append(node)
+                    break
+            else:
+                raise LookupError(f"leaf {leaf_id} not found")
+        if leaf_id not in node.children:
+            raise LookupError(f"leaf {leaf_id} not under expected parent")
+        return path
+
+    def _subtree_contains(self, node: InternalNode, leaf_id: int) -> bool:
+        if node.level == 1:
+            return leaf_id in node.children
+        return any(
+            self._subtree_contains(self.nodes[c], leaf_id) for c in node.children
+        )
+
+    def _split_up(self, path: list[InternalNode]) -> None:
+        """Split any overfull internal nodes on ``path``, bottom-up."""
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.children) <= self.fanout:
+                return
+            mid = len(node.children) // 2
+            promoted = node.keys[mid - 1]
+            right = InternalNode(
+                node_id=self.store.allocate(),
+                keys=node.keys[mid:],
+                children=node.children[mid:],
+                level=node.level,
+            )
+            node.keys = node.keys[: mid - 1]
+            node.children = node.children[:mid]
+            self.nodes[right.node_id] = right
+            self.store.write(node.node_id)
+            self.store.write(right.node_id)
+            if depth == 0:
+                new_root = InternalNode(
+                    node_id=self.store.allocate(),
+                    keys=[promoted],
+                    children=[node.node_id, right.node_id],
+                    level=node.level + 1,
+                )
+                self.nodes[new_root.node_id] = new_root
+                self.root_id = new_root.node_id
+                self.store.write(new_root.node_id)
+                return
+            parent = path[depth - 1]
+            idx = parent.child_index(node.node_id)
+            parent.keys.insert(idx, promoted)
+            parent.children.insert(idx + 1, right.node_id)
+
+    def internal_node_ids(self) -> list[int]:
+        """Ids of all internal nodes (for warm-cache prefaulting)."""
+        return list(self.nodes)

@@ -1,0 +1,246 @@
+"""Bloom-filter variants discussed by the paper (§2 related work, §7).
+
+The paper's BF-leaves use plain Bloom filters plus a deleted-key list;
+§7 notes that "a different approach is to exploit variations of BFs that
+support deletes [7, 39] after considering their space and performance
+characteristics", and §2 surveys Scalable Bloom Filters [2] for growing
+element counts.  This module provides both variations so the trade-off
+can actually be measured (see ``benchmarks/bench_ablation_deletes.py``):
+
+* :class:`CountingBloomFilter` — d-bit counters instead of bits; removals
+  decrement, so deletes neither raise the fpp (in-place deletion) nor
+  grow a tombstone list.  Costs ``d`` times the space.
+* :class:`ScalableBloomFilter` — a series of plain filters with
+  geometrically tightening fpps, so the compound false-positive rate
+  stays below a configured ceiling no matter how many elements arrive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bloom import DEFAULT_HASH_COUNT, BloomFilter, bits_for_capacity
+from repro.core.hashing import bloom_positions, key_to_int
+
+
+class CountingBloomFilter:
+    """Bloom filter with small per-position counters (supports deletes).
+
+    Each of the ``nbits`` positions holds a saturating counter of
+    ``counter_bits`` bits (4 is the classic choice: overflow probability
+    is negligible for realistic loads).  Membership semantics match
+    :class:`~repro.core.bloom.BloomFilter`; :meth:`remove` decrements the
+    key's counters, restoring the exact pre-insert state unless a counter
+    ever saturated.
+    """
+
+    __slots__ = ("nbits", "k", "seed", "counter_bits", "_counters", "count")
+
+    _SATURATED = object()
+
+    def __init__(
+        self,
+        nbits: int,
+        k: int = DEFAULT_HASH_COUNT,
+        seed: int = 0,
+        counter_bits: int = 4,
+    ) -> None:
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if counter_bits < 2:
+            raise ValueError("counter_bits must be >= 2")
+        self.nbits = nbits
+        self.k = k
+        self.seed = seed
+        self.counter_bits = counter_bits
+        self._counters = bytearray(nbits)
+        self.count = 0
+
+    @classmethod
+    def for_capacity(
+        cls, nkeys: int, fpp: float, k: int = DEFAULT_HASH_COUNT,
+        seed: int = 0, counter_bits: int = 4,
+    ) -> "CountingBloomFilter":
+        """Size for ``nkeys`` at ``fpp`` (same position math as Eq. 1)."""
+        nbits = max(1, math.ceil(bits_for_capacity(max(nkeys, 1), fpp)))
+        return cls(nbits=nbits, k=k, seed=seed, counter_bits=counter_bits)
+
+    @property
+    def _max_count(self) -> int:
+        return (1 << self.counter_bits) - 1
+
+    def _positions(self, key: object) -> list[int]:
+        return bloom_positions(key_to_int(key), self.k, self.nbits, self.seed)
+
+    # ------------------------------------------------------------------
+    def add(self, key: object) -> None:
+        """Insert ``key`` (counters saturate rather than overflow)."""
+        cap = self._max_count
+        for pos in self._positions(key):
+            if self._counters[pos] < cap:
+                self._counters[pos] += 1
+        self.count += 1
+
+    def remove(self, key: object) -> bool:
+        """Delete one occurrence of ``key``.
+
+        Returns False (and changes nothing) when the filter definitely
+        never contained the key.  Decrementing a saturated counter is
+        skipped — the classic safe-under-saturation rule — which can leave
+        residual bits but never introduces false negatives.
+        """
+        positions = self._positions(key)
+        if any(self._counters[pos] == 0 for pos in positions):
+            return False
+        cap = self._max_count
+        for pos in positions:
+            if self._counters[pos] < cap:
+                self._counters[pos] -= 1
+        self.count = max(0, self.count - 1)
+        return True
+
+    def might_contain(self, key: object) -> bool:
+        return all(self._counters[pos] > 0 for pos in self._positions(key))
+
+    __contains__ = might_contain
+
+    def bulk_add(self, keys) -> None:
+        """Vectorized insert of a NumPy integer array.
+
+        Saturation is applied after accumulation, which can differ from
+        the scalar path only when a counter crosses the cap mid-batch —
+        harmless, since saturated counters are never decremented anyway.
+        """
+        import numpy as np
+
+        from repro.core.hashing import bloom_positions_batch
+
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return
+        positions = bloom_positions_batch(keys, self.k, self.nbits, self.seed)
+        counters = np.frombuffer(self._counters, dtype=np.uint8)
+        accumulated = counters.astype(np.int64)
+        np.add.at(accumulated, positions.ravel(), 1)
+        np.minimum(accumulated, self._max_count, out=accumulated)
+        counters[:] = accumulated.astype(np.uint8)
+        self.count += len(keys)
+
+    # ------------------------------------------------------------------
+    def fill_fraction(self) -> float:
+        nonzero = sum(1 for c in self._counters if c)
+        return nonzero / self.nbits
+
+    def effective_fpp(self) -> float:
+        return self.fill_fraction() ** self.k
+
+    def size_bytes(self) -> int:
+        """Space cost: counter_bits per position (the §7 trade-off)."""
+        return -(-self.nbits * self.counter_bits // 8)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CountingBloomFilter(nbits={self.nbits}, k={self.k}, "
+            f"count={self.count}, counter_bits={self.counter_bits})"
+        )
+
+
+class ScalableBloomFilter:
+    """Almeida et al.'s Scalable Bloom Filter (paper §2, ref [2]).
+
+    A sequence of plain filters: each new stage doubles the capacity
+    (``growth``) and tightens its fpp by ``tightening``; the compound
+    false-positive probability is bounded by ``max_fpp / (1 -
+    tightening)``.  Lets a BF-leaf absorb unbounded inserts while keeping
+    accuracy, at the cost of probing every stage.
+    """
+
+    def __init__(
+        self,
+        initial_capacity: int = 64,
+        max_fpp: float = 0.01,
+        growth: int = 2,
+        tightening: float = 0.5,
+        k: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        if not 0.0 < max_fpp < 1.0:
+            raise ValueError("max_fpp must be in (0, 1)")
+        if growth < 2:
+            raise ValueError("growth must be >= 2")
+        if not 0.0 < tightening < 1.0:
+            raise ValueError("tightening must be in (0, 1)")
+        self.initial_capacity = initial_capacity
+        self.max_fpp = max_fpp
+        self.growth = growth
+        self.tightening = tightening
+        self.seed = seed
+        self._explicit_k = k
+        self._stages: list[BloomFilter] = []
+        self._stage_capacity: list[int] = []
+        self.count = 0
+        self._add_stage()
+
+    def _add_stage(self) -> None:
+        index = len(self._stages)
+        capacity = self.initial_capacity * (self.growth ** index)
+        # First stage takes fpp * (1 - tightening) so the series sum stays
+        # below max_fpp.
+        stage_fpp = self.max_fpp * (1 - self.tightening) * (
+            self.tightening ** index
+        )
+        nbits = max(8, math.ceil(bits_for_capacity(capacity, stage_fpp)))
+        k = self._explicit_k
+        if k is None:
+            k = max(1, round(nbits / capacity * math.log(2)))
+        self._stages.append(
+            BloomFilter(nbits=nbits, k=k, seed=self.seed + index)
+        )
+        self._stage_capacity.append(capacity)
+
+    # ------------------------------------------------------------------
+    def add(self, key: object) -> None:
+        """Insert into the newest stage, opening a new one when full."""
+        stage = self._stages[-1]
+        if stage.count >= self._stage_capacity[-1]:
+            self._add_stage()
+            stage = self._stages[-1]
+        stage.add(key)
+        self.count += 1
+
+    def might_contain(self, key: object) -> bool:
+        """Probe every stage, newest first (recent keys most likely)."""
+        return any(
+            stage.might_contain(key) for stage in reversed(self._stages)
+        )
+
+    __contains__ = might_contain
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        return len(self._stages)
+
+    def compound_fpp_bound(self) -> float:
+        """Upper bound on the overall false-positive probability."""
+        return self.max_fpp
+
+    def expected_fpp(self) -> float:
+        """1 - prod(1 - fpp_i) over the populated stages."""
+        acc = 1.0
+        for stage in self._stages:
+            acc *= 1.0 - stage.expected_fpp()
+        return 1.0 - acc
+
+    def size_bytes(self) -> int:
+        return sum(stage.size_bytes() for stage in self._stages)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ScalableBloomFilter(stages={self.n_stages}, "
+            f"count={self.count}, max_fpp={self.max_fpp})"
+        )

@@ -1,0 +1,78 @@
+"""Break-even analysis (paper Figures 6 and 9).
+
+For each storage configuration, the paper plots the BF-Tree's
+*normalized performance* (B+-Tree latency / BF-Tree latency) against its
+*capacity gain* (B+-Tree pages / BF-Tree pages) as fpp sweeps.  The
+break-even point is the largest capacity gain at which the BF-Tree still
+matches the B+-Tree (normalized performance >= 1).  The paper's headline:
+break-evens shift toward larger capacity gains as the storage gets
+slower, because extra CPU and false reads amortize against expensive
+index I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.experiment import SweepResult
+
+
+@dataclass(frozen=True)
+class BreakEvenCurve:
+    """Normalized performance vs capacity gain for one storage config."""
+
+    config: str
+    capacity_gains: tuple[float, ...]
+    normalized_performance: tuple[float, ...]
+
+    def break_even_gain(self, threshold: float = 1.0) -> float | None:
+        """Largest capacity gain with normalized performance >= threshold.
+
+        Interpolates linearly between neighbouring sweep points when the
+        curve crosses the threshold between samples; returns ``None`` when
+        the BF-Tree never reaches it on this configuration.  When the
+        index device is memory, the BF-Tree approaches the B+-Tree
+        asymptotically from below, so parity-style thresholds (e.g. 0.98,
+        "matches within 2%") are the useful reading — the paper's Figure 6
+        crossings for the in-memory configurations are parity points.
+        """
+        best: float | None = None
+        pairs = sorted(zip(self.capacity_gains, self.normalized_performance))
+        for i, (gain, perf) in enumerate(pairs):
+            if perf >= threshold:
+                best = gain
+                # Interpolate toward the next (larger-gain) sample if that
+                # one dips below the threshold.
+                if i + 1 < len(pairs):
+                    next_gain, next_perf = pairs[i + 1]
+                    if next_perf < threshold and next_perf != perf:
+                        frac = (perf - threshold) / (perf - next_perf)
+                        best = gain + frac * (next_gain - gain)
+        return best
+
+
+def break_even_curves(sweep: SweepResult) -> list[BreakEvenCurve]:
+    """One curve per storage configuration from a Figure-5/8 sweep."""
+    curves = []
+    for config in sweep.configs:
+        gains = []
+        perfs = []
+        for fpp in sweep.fpps:
+            gains.append(sweep.capacity_gain(fpp))
+            perfs.append(sweep.normalized_performance(fpp, config))
+        curves.append(
+            BreakEvenCurve(
+                config=config,
+                capacity_gains=tuple(gains),
+                normalized_performance=tuple(perfs),
+            )
+        )
+    return curves
+
+
+def break_even_table(sweep: SweepResult, threshold: float = 1.0
+                     ) -> dict[str, float | None]:
+    """Config name -> break-even capacity gain (the Fig 6/9 crossings)."""
+    return {
+        c.config: c.break_even_gain(threshold) for c in break_even_curves(sweep)
+    }

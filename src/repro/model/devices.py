@@ -1,0 +1,69 @@
+"""Figure 2: the capacity/performance storage trade-off.
+
+The paper plots eight devices (as of end 2013) by capacity per dollar
+(GB/$) against advertised random-read IOPS; HDD and SSD form two distinct
+clusters — HDD cheap and slow, SSD fast and expensive.  The catalogue
+below reconstructs representative devices of each class with
+end-of-2013-era figures; exact models were not named in the paper, so
+these are calibrated to land inside the clusters the figure shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CatalogDevice:
+    """One point of the Figure 2 scatter plot."""
+
+    name: str
+    kind: str                 # "E-HDD", "C-HDD", "E-SSD", "C-SSD"
+    capacity_gb: float
+    price_usd: float
+    random_read_iops: float
+
+    @property
+    def gb_per_dollar(self) -> float:
+        return self.capacity_gb / self.price_usd
+
+    @property
+    def is_ssd(self) -> bool:
+        return self.kind.endswith("SSD")
+
+
+#: Two enterprise + two consumer HDD, four enterprise + two consumer SSD
+#: (the mix the paper's Figure 2 shows).
+DEVICE_CATALOG: tuple[CatalogDevice, ...] = (
+    CatalogDevice("15K SAS 600GB", "E-HDD", 600, 220, 210),
+    CatalogDevice("10K SAS 1.2TB", "E-HDD", 1200, 280, 160),
+    CatalogDevice("7.2K SATA 3TB", "C-HDD", 3000, 130, 90),
+    CatalogDevice("5.4K SATA 4TB", "C-HDD", 4000, 150, 60),
+    CatalogDevice("PCIe NAND 1.2TB", "E-SSD", 1200, 4800, 450_000),
+    CatalogDevice("SAS SLC 400GB", "E-SSD", 400, 2400, 180_000),
+    CatalogDevice("SATA eMLC 800GB", "E-SSD", 800, 1900, 90_000),
+    CatalogDevice("SATA MLC 480GB", "E-SSD", 480, 800, 75_000),
+    CatalogDevice("SATA consumer 256GB", "C-SSD", 256, 180, 80_000),
+    CatalogDevice("SATA consumer 512GB", "C-SSD", 512, 330, 85_000),
+)
+
+
+def clusters() -> dict[str, list[CatalogDevice]]:
+    """Devices grouped into the two technology clusters of Figure 2."""
+    out: dict[str, list[CatalogDevice]] = {"HDD": [], "SSD": []}
+    for device in DEVICE_CATALOG:
+        out["SSD" if device.is_ssd else "HDD"].append(device)
+    return out
+
+
+def tradeoff_summary() -> dict[str, dict[str, float]]:
+    """Cluster-level ranges: the quantitative content of Figure 2."""
+    summary: dict[str, dict[str, float]] = {}
+    for kind, devices in clusters().items():
+        summary[kind] = {
+            "min_gb_per_dollar": min(d.gb_per_dollar for d in devices),
+            "max_gb_per_dollar": max(d.gb_per_dollar for d in devices),
+            "min_iops": min(d.random_read_iops for d in devices),
+            "max_iops": max(d.random_read_iops for d in devices),
+        }
+    return summary

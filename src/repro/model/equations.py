@@ -1,0 +1,106 @@
+"""Equations 2-13 of the paper's analytical model (Section 5).
+
+Every function takes a :class:`~repro.model.params.ModelParams` and
+returns the derived quantity named after the paper's symbol.  The
+Bloom-filter identity (Equation 1) lives in :mod:`repro.core.bloom`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bloom import LN2_SQ
+from repro.model.params import ModelParams
+
+
+# ----------------------------------------------------------------------
+# shared geometry
+# ----------------------------------------------------------------------
+def fanout(p: ModelParams) -> float:
+    """Equation 2: internal-node fanout."""
+    return p.pagesize / (p.ptrsize + p.keysize)
+
+
+# ----------------------------------------------------------------------
+# B+-Tree
+# ----------------------------------------------------------------------
+def bp_leaves(p: ModelParams) -> float:
+    """Equation 3: leaf pages of the baseline B+-Tree."""
+    return p.notuples * (p.keysize / p.avgcard + p.ptrsize) / p.pagesize
+
+def bp_height(p: ModelParams) -> int:
+    """Equation 4: B+-Tree height (including the leaf level)."""
+    leaves = max(bp_leaves(p), 1.0)
+    return math.ceil(math.log(leaves, fanout(p))) + 1 if leaves > 1 else 1
+
+def bp_size(p: ModelParams) -> float:
+    """Equation 9: B+-Tree bytes (leaves + one internal level estimate)."""
+    leaves = bp_leaves(p)
+    return p.pagesize * (leaves + leaves / fanout(p))
+
+
+# ----------------------------------------------------------------------
+# BF-Tree
+# ----------------------------------------------------------------------
+def bf_keys_per_page(p: ModelParams) -> float:
+    """Equation 5: distinct keys one BF-leaf indexes at the target fpp."""
+    return -p.pagesize * 8 * LN2_SQ / math.log(p.fpp)
+
+def bf_leaves(p: ModelParams) -> float:
+    """Equation 6: BF-leaf count (duplicate keys stored once)."""
+    return p.notuples / (p.avgcard * bf_keys_per_page(p))
+
+def bf_height(p: ModelParams) -> int:
+    """Equation 7: BF-Tree height (including the leaf level)."""
+    leaves = max(bf_leaves(p), 1.0)
+    return math.ceil(math.log(leaves, fanout(p))) + 1 if leaves > 1 else 1
+
+def bf_pages_per_leaf(p: ModelParams) -> float:
+    """Equation 8: data pages one BF-leaf covers."""
+    return bf_keys_per_page(p) * p.avgcard * p.tuplesize / p.pagesize
+
+def bf_size(p: ModelParams) -> float:
+    """Equation 10: BF-Tree bytes."""
+    leaves = bf_leaves(p)
+    return p.pagesize * (leaves + leaves / fanout(p))
+
+
+# ----------------------------------------------------------------------
+# probe costs
+# ----------------------------------------------------------------------
+def matching_pages(p: ModelParams) -> int:
+    """Equation 11: data pages a positive probe must fetch (mP)."""
+    return math.ceil(p.avgcard * p.tuplesize / p.pagesize)
+
+def bp_cost(p: ModelParams) -> float:
+    """Equation 12: B+-Tree probe cost in relative I/O units."""
+    return bp_height(p) * p.idxIO + matching_pages(p) * p.dataIO
+
+def bf_cost(p: ModelParams) -> float:
+    """Equation 13: BF-Tree probe cost, false positives charged seqDtIO."""
+    return (
+        bf_height(p) * p.idxIO
+        + matching_pages(p) * p.dataIO
+        + p.fpp * bf_pages_per_leaf(p) * p.seqDtIO
+    )
+
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
+def summarize(p: ModelParams) -> dict[str, float]:
+    """All derived quantities, keyed by the paper's symbol names."""
+    return {
+        "fanout": fanout(p),
+        "BPleaves": bp_leaves(p),
+        "BPh": bp_height(p),
+        "BPsize": bp_size(p),
+        "BFkeysperpage": bf_keys_per_page(p),
+        "BFleaves": bf_leaves(p),
+        "BFh": bf_height(p),
+        "BFpagesleaf": bf_pages_per_leaf(p),
+        "BFsize": bf_size(p),
+        "mP": matching_pages(p),
+        "BPcost": bp_cost(p),
+        "BFcost": bf_cost(p),
+    }

@@ -1,0 +1,65 @@
+"""Figure 14: false-positive degradation under inserts (Equation 14).
+
+If a Bloom filter sized for N elements at false-positive probability
+``fpp`` absorbs ``inserts`` additional elements without growing, the
+effective rate becomes::
+
+    new_fpp = fpp ** (1 / (1 + inserts / N))
+
+independently of the filter size and the absolute element count — only
+the initial fpp and the *relative* growth matter (paper §7).  The same
+module covers deletes, which add their removed fraction directly to the
+false-positive rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bloom import fpp_after_deletes, fpp_after_inserts
+
+
+@dataclass(frozen=True)
+class InsertPoint:
+    """One x/y point of Figure 14."""
+
+    insert_ratio: float
+    new_fpp: float
+
+
+def insert_series(initial_fpp: float, ratios: list[float]) -> list[InsertPoint]:
+    """Equation-14 curve for one initial fpp over ``ratios``."""
+    return [InsertPoint(r, fpp_after_inserts(initial_fpp, r)) for r in ratios]
+
+
+def figure14a_grid(points: int = 25) -> list[float]:
+    """Insert ratios 0..12% (Figure 14a's x axis)."""
+    return [0.12 * i / (points - 1) for i in range(points)]
+
+
+def figure14b_grid(points: int = 25) -> list[float]:
+    """Insert ratios 0..600% (Figure 14b's x axis)."""
+    return [6.0 * i / (points - 1) for i in range(points)]
+
+
+#: The three initial fpps Figure 14 plots.
+FIGURE14_INITIAL_FPPS = (1e-4, 1e-3, 1e-2)
+
+
+def sustainable_insert_ratio(initial_fpp: float, max_fpp: float) -> float:
+    """Largest insert ratio keeping the effective fpp below ``max_fpp``.
+
+    Inverts Equation 14: ratio = ln(fpp)/ln(max_fpp) - 1.  The paper's
+    rule of thumb: a BF-Tree sustains ~15% inserts before the index
+    should be updated.
+    """
+    import math
+
+    if not 0 < initial_fpp < max_fpp < 1:
+        raise ValueError("need 0 < initial_fpp < max_fpp < 1")
+    return math.log(initial_fpp) / math.log(max_fpp) - 1.0
+
+
+def delete_series(initial_fpp: float, ratios: list[float]) -> list[InsertPoint]:
+    """fpp after deleting a fraction of entries (linear additive, §7)."""
+    return [InsertPoint(r, fpp_after_deletes(initial_fpp, r)) for r in ratios]

@@ -1,0 +1,63 @@
+"""Table 1: the parameters of the paper's analytical model (Section 5).
+
+:class:`ModelParams` bundles every input parameter of the model; derived
+quantities (leaf counts, heights, sizes, probe costs) live in
+:mod:`repro.model.equations`.  Defaults reproduce the workload of the
+paper's Figure 4: 1 GB relation, 4 KB pages, 256-byte tuples, 32-byte
+keys, 8-byte pointers, index on SSD and data on HDD with
+``idxIO=1, dataIO=50, seqDtIO=5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Input parameters of the analytical model (paper Table 1)."""
+
+    pagesize: int = 4096          # bytes, data and index pages
+    tuplesize: int = 256          # fixed bytes per tuple
+    notuples: int = 4 * 1024 * 1024   # 1 GB relation of 256 B tuples
+    avgcard: float = 1.0          # average occurrences of an indexed value
+    keysize: int = 32             # bytes of the indexed attribute
+    ptrsize: int = 8              # bytes per pointer
+    fpp: float = 1e-3             # BF-Tree false positive probability
+    # Relative I/O costs (Figure 4 uses 1 / 50 / 5: index on SSD, data on
+    # HDD, sequential data accesses five times cheaper than random).
+    idxIO: float = 1.0
+    dataIO: float = 50.0
+    seqDtIO: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.pagesize <= 0 or self.tuplesize <= 0 or self.notuples <= 0:
+            raise ValueError("sizes and counts must be positive")
+        if self.tuplesize > self.pagesize:
+            raise ValueError("tuple larger than a page")
+        if self.avgcard < 1:
+            raise ValueError("avgcard must be >= 1")
+        if not 0.0 < self.fpp < 1.0:
+            raise ValueError(f"fpp must be in (0, 1), got {self.fpp}")
+        if min(self.idxIO, self.dataIO, self.seqDtIO) < 0:
+            raise ValueError("I/O costs must be non-negative")
+
+    def with_fpp(self, fpp: float) -> "ModelParams":
+        """Copy with a different false-positive probability."""
+        return replace(self, fpp=fpp)
+
+    def with_io(self, idxIO: float, dataIO: float, seqDtIO: float) -> "ModelParams":
+        """Copy with different relative I/O costs (storage placement)."""
+        return replace(self, idxIO=idxIO, dataIO=dataIO, seqDtIO=seqDtIO)
+
+    @property
+    def relation_bytes(self) -> int:
+        return self.notuples * self.tuplesize
+
+    @property
+    def tuples_per_page(self) -> int:
+        return self.pagesize // self.tuplesize
+
+
+#: The exact parameterization behind the paper's Figure 4.
+FIGURE4_PARAMS = ModelParams()

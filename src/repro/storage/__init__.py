@@ -1,0 +1,60 @@
+"""Simulated storage substrate: clock, devices, relations, buffer pool.
+
+This package replaces the paper's physical testbed (Seagate 10K HDD, OCZ
+Deneva SSD, 48 GB DRAM) with a deterministic simulator.  See DESIGN.md §3
+for the substitution argument.
+"""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.clock import SimulatedClock
+from repro.storage.config import (
+    CONFIGS_BY_NAME,
+    FIVE_CONFIGS,
+    HDD_HDD,
+    MEM_HDD,
+    MEM_SSD,
+    SSD_HDD,
+    SSD_SSD,
+    StorageConfig,
+    StorageStack,
+    build_stack,
+)
+from repro.storage.device import (
+    HDD_PROFILE,
+    MEMORY_PROFILE,
+    PAGE_SIZE,
+    PROFILES,
+    SSD_PROFILE,
+    Device,
+    DeviceProfile,
+    Medium,
+)
+from repro.storage.iostats import IOStats, ProbeResult
+from repro.storage.relation import PageView, Relation
+
+__all__ = [
+    "BufferPool",
+    "SimulatedClock",
+    "CONFIGS_BY_NAME",
+    "FIVE_CONFIGS",
+    "HDD_HDD",
+    "MEM_HDD",
+    "MEM_SSD",
+    "SSD_HDD",
+    "SSD_SSD",
+    "StorageConfig",
+    "StorageStack",
+    "build_stack",
+    "HDD_PROFILE",
+    "MEMORY_PROFILE",
+    "PAGE_SIZE",
+    "PROFILES",
+    "SSD_PROFILE",
+    "Device",
+    "DeviceProfile",
+    "Medium",
+    "IOStats",
+    "ProbeResult",
+    "PageView",
+    "Relation",
+]

@@ -1,0 +1,21 @@
+"""Workload generators: synthetic relation R, TPCH lineitem dates, SHD."""
+
+from repro.workloads import shd, synthetic, tpch
+from repro.workloads.queries import (
+    FIGURE13_FRACTIONS,
+    ProbeSet,
+    RangeQuery,
+    point_probes,
+    range_queries,
+)
+
+__all__ = [
+    "shd",
+    "synthetic",
+    "tpch",
+    "FIGURE13_FRACTIONS",
+    "ProbeSet",
+    "RangeQuery",
+    "point_probes",
+    "range_queries",
+]

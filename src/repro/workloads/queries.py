@@ -1,0 +1,135 @@
+"""Probe-key generators with controlled hit rate (paper §6.1, §6.4).
+
+The paper's experiments average a thousand index probes with random keys;
+§6.4 additionally varies the *hit rate* — the fraction of probes whose
+key actually exists — from 0% to 100%.  :func:`point_probes` produces
+such a key sequence deterministically; :func:`range_queries` produces the
+[lo, hi] windows of the Figure 13 range-scan experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class ProbeSet:
+    """A reproducible batch of point-probe keys."""
+
+    keys: np.ndarray
+    expected_hits: np.ndarray      # bool per key
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def hit_rate(self) -> float:
+        return float(self.expected_hits.mean()) if len(self.keys) else 0.0
+
+
+def point_probes(
+    relation: Relation,
+    column: str,
+    n_probes: int = 1000,
+    hit_rate: float = 1.0,
+    seed: int = 1234,
+    miss_mode: str = "mixed",
+) -> ProbeSet:
+    """Random probe keys with the requested fraction of existing keys.
+
+    Hits are sampled uniformly from the column's distinct values.  Misses
+    depend on ``miss_mode``:
+
+    * ``"mixed"`` — sampled from the complement of the key set inside an
+      interval twice as wide as the data's key range (within-range gaps
+      and out-of-range keys);
+    * ``"outside"`` — strictly beyond the data's key range, like the
+      paper's 0%-hit TPCH probes for dates "that do not exist" in a dense
+      date domain (e.g. dashboard queries about future days).
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit_rate must be in [0, 1]")
+    if miss_mode not in ("mixed", "outside"):
+        raise ValueError(f"miss_mode must be 'mixed' or 'outside', got {miss_mode!r}")
+    rng = np.random.default_rng(seed)
+    values = np.unique(np.asarray(relation.columns[column]))
+    n_hits = int(round(n_probes * hit_rate))
+    hits = rng.choice(values, size=n_hits, replace=True)
+    n_misses = n_probes - n_hits
+    if miss_mode == "outside":
+        hi = int(values.max())
+        span = max(1, hi - int(values.min()))
+        misses = hi + 1 + rng.integers(0, span, size=n_misses)
+        misses = misses.astype(values.dtype)
+    else:
+        misses = _sample_misses(values, n_misses, rng)
+    keys = np.concatenate([hits, misses])
+    expected = np.concatenate(
+        [np.ones(n_hits, dtype=bool), np.zeros(len(misses), dtype=bool)]
+    )
+    order = rng.permutation(len(keys))
+    return ProbeSet(keys=keys[order], expected_hits=expected[order])
+
+
+def _sample_misses(values: np.ndarray, n: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    if n <= 0:
+        return np.empty(0, dtype=values.dtype)
+    lo, hi = int(values.min()), int(values.max())
+    span = max(1, hi - lo)
+    present = set(values.tolist())
+    out: list[int] = []
+    attempts = 0
+    while len(out) < n and attempts < 1000 * n:
+        candidate = int(rng.integers(lo - span // 2, hi + span // 2 + 1))
+        attempts += 1
+        if candidate not in present:
+            out.append(candidate)
+    if len(out) < n:
+        # Dense domain: fall back to keys strictly outside the range.
+        out.extend(hi + 1 + i for i in range(n - len(out)))
+    return np.asarray(out[:n], dtype=values.dtype)
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One [lo, hi] window covering ``fraction`` of the key domain."""
+
+    lo: int
+    hi: int
+    fraction: float
+
+
+def range_queries(
+    relation: Relation,
+    column: str,
+    fraction: float,
+    n_queries: int = 20,
+    seed: int = 77,
+) -> list[RangeQuery]:
+    """Random range windows each spanning ``fraction`` of the key domain.
+
+    Figure 13 uses fractions 1%, 5%, 10% and 20% of the synthetic
+    relation's primary-key domain.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    values = np.asarray(relation.columns[column])
+    lo_key, hi_key = int(values.min()), int(values.max())
+    domain = hi_key - lo_key + 1
+    width = max(1, int(domain * fraction))
+    queries = []
+    for _ in range(n_queries):
+        start = int(rng.integers(lo_key, max(lo_key + 1, hi_key - width + 2)))
+        queries.append(RangeQuery(lo=start, hi=start + width - 1,
+                                  fraction=fraction))
+    return queries
+
+
+FIGURE13_FRACTIONS = (0.01, 0.05, 0.10, 0.20)
+"""The four range widths of the paper's Figure 13."""

@@ -1,0 +1,68 @@
+"""The paper's synthetic relation R (Section 6.1).
+
+256-byte tuples with two indexed attributes, both correlated with
+creation time and therefore ordered:
+
+* ``pk``   — 8-byte primary key, unique, strictly increasing;
+* ``att1`` — 8-byte timestamp-like attribute, each value repeated 11
+  times *on average* (we draw per-value cardinalities around that mean so
+  the data is realistic rather than perfectly regular).
+
+The paper's experiments use a 1 GB relation (4M tuples).  Simulated time
+scales linearly with tuple count, so the default here is a scaled-down
+relation; pass ``n_tuples`` explicitly for other sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.relation import Relation
+
+TUPLE_SIZE = 256
+DEFAULT_TUPLES = 1 << 16
+ATT1_AVG_CARDINALITY = 11
+
+
+def generate(
+    n_tuples: int = DEFAULT_TUPLES,
+    avg_cardinality: int = ATT1_AVG_CARDINALITY,
+    seed: int = 42,
+    name: str = "R",
+) -> Relation:
+    """Build relation R with ``pk`` and ``att1`` columns.
+
+    ``att1`` cardinalities are drawn from a Poisson distribution around
+    ``avg_cardinality`` (clipped to at least 1), then assigned to strictly
+    increasing values — the implicit clustering of time-generated data.
+    """
+    if n_tuples <= 0:
+        raise ValueError("n_tuples must be positive")
+    rng = np.random.default_rng(seed)
+    pk = np.arange(n_tuples, dtype=np.int64)
+    att1 = _clustered_column(n_tuples, avg_cardinality, rng)
+    return Relation({"pk": pk, "att1": att1}, tuple_size=TUPLE_SIZE, name=name)
+
+
+def _clustered_column(n: int, avg_cardinality: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Increasing values with Poisson-distributed duplicate counts."""
+    estimated_values = max(1, 2 * n // max(1, avg_cardinality))
+    counts = rng.poisson(avg_cardinality, size=estimated_values)
+    counts = np.clip(counts, 1, None)
+    while counts.sum() < n:
+        extra = rng.poisson(avg_cardinality, size=estimated_values)
+        counts = np.concatenate([counts, np.clip(extra, 1, None)])
+    values = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    return values[:n]
+
+
+def distinct_keys(relation: Relation, column: str) -> np.ndarray:
+    """Sorted distinct key values of one column."""
+    return np.unique(np.asarray(relation.columns[column]))
+
+
+def average_cardinality(relation: Relation, column: str) -> float:
+    """Observed mean duplicates per distinct value."""
+    values = np.asarray(relation.columns[column])
+    return len(values) / max(1, len(np.unique(values)))

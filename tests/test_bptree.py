@@ -1,0 +1,185 @@
+"""Unit tests for the B+-Tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPlusTree, BPlusTreeConfig
+from repro.storage import Relation, build_stack
+
+
+def _tree(relation, unique=True, **kw):
+    return BPlusTree.bulk_load(
+        relation, "pk" if unique else "att1",
+        BPlusTreeConfig(**kw) if kw else None, unique=unique,
+    )
+
+
+class TestConfig:
+    def test_fill_factor_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTreeConfig(fill_factor=0.01)
+
+    def test_leaf_budget(self):
+        assert BPlusTreeConfig(fill_factor=0.5).leaf_budget_bytes == 2048
+
+
+class TestBulkLoad:
+    def test_rejects_unsorted(self):
+        rel = Relation({"k": np.asarray([2, 1], dtype=np.int64)}, tuple_size=256)
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(rel, "k")
+
+    def test_rejects_empty(self):
+        rel = Relation({"k": np.empty(0, dtype=np.int64)}, tuple_size=256)
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(rel, "k")
+
+    def test_leaf_count_near_equation3(self, pk_relation):
+        """Eq. 3 with fill factor: n*(key+ptr)/(page*fill)."""
+        tree = _tree(pk_relation)
+        expected = 8192 * 16 / (4096 * 0.8)
+        assert tree.n_leaves == pytest.approx(expected, rel=0.05)
+
+    def test_leaves_sorted_and_linked(self, pk_relation):
+        chain = _tree(pk_relation).leaves_in_order()
+        keys = [k for leaf in chain for k in leaf.keys]
+        assert keys == sorted(keys)
+        assert len(keys) == 8192
+
+    def test_duplicates_grouped(self, dup_relation):
+        tree = BPlusTree.bulk_load(
+            dup_relation, "att1", BPlusTreeConfig(clustered=False)
+        )
+        att1 = np.asarray(dup_relation.columns["att1"])
+        total_rids = sum(
+            len(r) for leaf in tree.leaves.values() for r in leaf.ridlists
+        )
+        assert total_rids == len(att1)
+
+
+class TestSearch:
+    def test_all_keys_found(self, pk_relation):
+        tree = _tree(pk_relation)
+        tree.bind(build_stack("MEM/SSD"))
+        for key in range(0, 8192, 131):
+            result = tree.search(key)
+            assert result.found and result.tids == [key]
+
+    def test_miss(self, pk_relation):
+        tree = _tree(pk_relation)
+        tree.bind(build_stack("MEM/SSD"))
+        assert not tree.search(9999).found
+        assert not tree.search(-1).found
+
+    def test_exactly_one_data_read_for_pk(self, pk_relation):
+        tree = _tree(pk_relation)
+        stack = build_stack("MEM/SSD")
+        tree.bind(stack)
+        before = stack.stats.data_reads
+        tree.search(4000)
+        assert stack.stats.data_reads - before == 1
+
+    def test_duplicates_all_fetched(self, dup_relation):
+        tree = BPlusTree.bulk_load(dup_relation, "att1")
+        tree.bind(build_stack("MEM/SSD"))
+        att1 = np.asarray(dup_relation.columns["att1"])
+        key = int(att1[1000])
+        assert tree.search(key).matches == int(np.count_nonzero(att1 == key))
+
+    def test_heavy_duplicates_span_leaves(self):
+        """A rid list longer than a page continues into the next leaf."""
+        keys = np.repeat(np.arange(8, dtype=np.int64), 1024)
+        rel = Relation({"k": keys}, tuple_size=256)
+        tree = BPlusTree.bulk_load(rel, "k", BPlusTreeConfig(clustered=False))
+        tree.bind(build_stack("MEM/SSD"))
+        assert tree.n_leaves > 8 // 2
+        result = tree.search(3)
+        assert result.matches == 1024
+
+
+class TestUpdates:
+    def test_insert_new_key(self, pk_relation):
+        tree = _tree(pk_relation)
+        tree.insert(8192, 0)
+        tree.bind(build_stack("MEM/SSD"))
+        assert tree.search(8192).found
+
+    def test_insert_duplicate_rid(self, pk_relation):
+        tree = BPlusTree.bulk_load(
+            pk_relation, "pk", BPlusTreeConfig(clustered=False), unique=False
+        )
+        tree.insert(5, 99)
+        tree.bind(build_stack("MEM/SSD"))
+        assert tree.search(5).matches == 2
+
+    def test_insert_splits_full_leaf(self, pk_relation):
+        tree = _tree(pk_relation)
+        before = tree.n_leaves
+        for i in range(400):
+            tree.insert(10**6 + i, 0)
+        assert tree.n_leaves > before
+        tree.bind(build_stack("MEM/SSD"))
+        for i in range(0, 400, 37):
+            assert tree.search(10**6 + i).found
+
+    def test_delete_entry(self, pk_relation):
+        tree = _tree(pk_relation)
+        assert tree.delete(77)
+        tree.bind(build_stack("MEM/SSD"))
+        assert not tree.search(77).found
+
+    def test_delete_single_rid(self, pk_relation):
+        tree = BPlusTree.bulk_load(
+            pk_relation, "pk", BPlusTreeConfig(clustered=False), unique=False
+        )
+        tree.insert(5, 99)
+        assert tree.delete(5, tid=99)
+        tree.bind(build_stack("MEM/SSD"))
+        assert tree.search(5).matches == 1
+
+    def test_delete_missing(self, pk_relation):
+        tree = _tree(pk_relation)
+        assert not tree.delete(10**9)
+        assert not tree.delete(5, tid=12345)
+
+
+class TestRangeScan:
+    def test_matches_and_minimal_pages(self, pk_relation):
+        tree = _tree(pk_relation)
+        tree.bind(build_stack("MEM/SSD"))
+        result = tree.range_scan(100, 299)
+        assert result.matches == 200
+        # 200 16-tuple-per-page keys -> at most 14 pages
+        expected_pages = len({k // 16 for k in range(100, 300)})
+        assert result.pages_read == expected_pages
+
+    def test_invalid_range(self, pk_relation):
+        with pytest.raises(ValueError):
+            _tree(pk_relation).range_scan(5, 1)
+
+    def test_empty_range_result(self, pk_relation):
+        tree = _tree(pk_relation)
+        tree.bind(build_stack("MEM/SSD"))
+        result = tree.range_scan(100000, 100010)
+        assert result.matches == 0 and result.pages_read == 0
+
+
+class TestSize:
+    def test_size_components(self, pk_relation):
+        tree = _tree(pk_relation)
+        assert tree.size_pages == tree.n_leaves + tree.inner.n_internal_nodes
+
+    def test_clustered_much_smaller_on_duplicates(self, dup_relation):
+        """The paper's ATT1 layout: one rid per distinct key, scan-forward
+        probes -> the index shrinks by ~avgcard."""
+        clustered = BPlusTree.bulk_load(dup_relation, "att1")
+        per_rid = BPlusTree.bulk_load(
+            dup_relation, "att1", BPlusTreeConfig(clustered=False)
+        )
+        assert per_rid.size_pages > 4 * clustered.size_pages
+
+    def test_pk_index_larger_than_att1(self, dup_relation):
+        """Eq. 3: higher cardinality amortizes key bytes -> smaller index."""
+        pk = BPlusTree.bulk_load(dup_relation, "pk", unique=True)
+        att1 = BPlusTree.bulk_load(dup_relation, "att1")
+        assert att1.size_pages < pk.size_pages

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_sizes_command(capsys):
+    assert main(["sizes", "--tuples", "4096", "--fpp", "0.1", "1e-4"]) == 0
+    out = capsys.readouterr().out
+    assert "B+-Tree" in out and "BF-Tree" in out
+    assert "capacity gain" in out
+
+
+def test_probe_command_single_config(capsys):
+    assert main([
+        "probe", "--tuples", "4096", "--index", "bf", "--fpp", "1e-3",
+        "--config", "MEM/SSD", "--probes", "20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "MEM/SSD" in out
+    assert "latency" in out
+
+
+def test_probe_all_indexes(capsys):
+    for index in ("bplus", "hash", "fd", "silt", "binsearch"):
+        assert main([
+            "probe", "--tuples", "4096", "--index", index,
+            "--config", "MEM/SSD", "--probes", "10",
+        ]) == 0
+        assert "latency" in capsys.readouterr().out
+
+
+def test_probe_warm_flag(capsys):
+    assert main([
+        "probe", "--tuples", "4096", "--config", "SSD/SSD",
+        "--probes", "10", "--warm",
+    ]) == 0
+    assert "warm=True" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main([
+        "sweep", "--tuples", "4096", "--fpp", "0.1", "1e-4",
+        "--probes", "20",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "break-even" in out
+    assert "MEM/SSD" in out
+
+
+def test_model_command(capsys):
+    assert main(["model", "--fpp", "1e-3"]) == 0
+    out = capsys.readouterr().out
+    assert "BFcost" in out
+    assert "Figure 4" in out
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads", "--tuples", "4096"]) == 0
+    out = capsys.readouterr().out
+    for name in ("synthetic", "tpch", "shd"):
+        assert name in out
+
+
+def test_tpch_workload_selection(capsys):
+    assert main([
+        "sizes", "--workload", "tpch", "--tuples", "4096", "--fpp", "1e-3",
+    ]) == 0
+    assert "shipdate" in capsys.readouterr().out
+
+
+def test_unknown_column_rejected():
+    with pytest.raises(SystemExit):
+        main(["sizes", "--tuples", "1024", "--column", "nonexistent"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

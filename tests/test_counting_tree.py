@@ -1,0 +1,133 @@
+"""Tests for BF-Trees built on counting filters (in-place deletes, §7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BFTree, BFTreeConfig
+from repro.storage import Relation, build_stack
+
+
+@pytest.fixture(scope="module")
+def counting_tree(pk_relation):
+    return BFTree.bulk_load(
+        pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+        unique=True,
+    )
+
+
+class TestConstruction:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            BFTreeConfig(filter_kind="quotient")
+
+    def test_fewer_filters_per_leaf(self, pk_relation):
+        plain = BFTree.bulk_load(pk_relation, "pk", BFTreeConfig(fpp=1e-3),
+                                 unique=True)
+        counting = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        assert counting.geometry.max_filters < plain.geometry.max_filters
+        # 4-bit counters -> roughly a quarter of the filters per page.
+        ratio = plain.geometry.max_filters / counting.geometry.max_filters
+        assert 3.0 < ratio < 5.0
+
+    def test_space_cost_visible_in_size(self, pk_relation):
+        plain = BFTree.bulk_load(pk_relation, "pk", BFTreeConfig(fpp=1e-3),
+                                 unique=True)
+        counting = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        assert counting.size_pages > plain.size_pages
+
+
+class TestSearch:
+    def test_all_keys_found(self, counting_tree):
+        counting_tree.bind(build_stack("MEM/SSD"))
+        for key in range(0, 8192, 149):
+            result = counting_tree.search(key)
+            assert result.found and result.matches == 1, key
+        counting_tree.unbind()
+
+    def test_miss(self, counting_tree):
+        assert not counting_tree.search(10**7).found
+
+    def test_false_rate_near_nominal(self, counting_tree):
+        stack = build_stack("MEM/SSD")
+        counting_tree.bind(stack)
+        for key in range(0, 8192, 17):
+            counting_tree.search(key)
+        probes = 8192 // 17 + 1
+        counting_tree.unbind()
+        assert stack.stats.false_reads / probes < 1.0
+
+
+class TestDeletes:
+    def test_inplace_delete(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        key = 500
+        assert tree.search(key).found
+        assert tree.delete(key, pid=pk_relation.page_of(key))
+        assert not tree.search(key).found
+
+    def test_no_tombstone_created(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        tree.delete(500, pid=pk_relation.page_of(500))
+        assert all(not leaf.deleted_keys for leaf in tree.leaves.values())
+
+    def test_neighbours_unaffected(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        tree.delete(500, pid=pk_relation.page_of(500))
+        for key in (499, 501, 516, 484):
+            assert tree.search(key).found, key
+
+    def test_delete_without_pid_falls_back_to_tombstone(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        assert tree.delete(600)        # no pid: tombstone path
+        assert not tree.search(600).found
+
+    def test_plain_tree_rejects_remove_key(self, pk_relation):
+        tree = BFTree.bulk_load(pk_relation, "pk", BFTreeConfig(fpp=1e-3),
+                                unique=True)
+        leaf = tree.leaves_in_order()[0]
+        with pytest.raises(ValueError):
+            leaf.remove_key(1, 0)
+
+    def test_mass_deletes_keep_fpp_flat(self):
+        """Delete a third of the keys; the remaining probes' false-read
+        rate must not exceed the pre-delete level (the §7 contrast with
+        additive-fpp tombstone-free deletion)."""
+        keys = np.arange(4096, dtype=np.int64)
+        rel = Relation({"pk": keys}, tuple_size=256)
+        tree = BFTree.bulk_load(
+            rel, "pk", BFTreeConfig(fpp=1e-2, filter_kind="counting"),
+            unique=True,
+        )
+
+        def false_rate():
+            stack = build_stack("MEM/SSD")
+            tree.bind(stack)
+            for key in range(1, 4096, 9):   # surviving keys (odd start)
+                if key % 3 != 0:
+                    tree.search(key)
+            tree.unbind()
+            return stack.stats.false_reads
+
+        before = false_rate()
+        for key in range(0, 4096, 3):
+            tree.delete(key, pid=rel.page_of(key))
+        after = false_rate()
+        assert after <= before + 2

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are documentation; a release where they crash is broken.
+They are executed in-process (imported as modules and ``main()`` called)
+with reduced sizes patched in where possible, and their stdout is sanity
+checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "capacity gain" in out
+    assert "search(12345)" in out
+    assert "range_scan" in out
+
+
+@pytest.mark.slow
+def test_tpch_date_index(capsys):
+    out = _run("tpch_date_index.py", capsys)
+    assert "hit rate" in out
+    assert "partitioned commitdate index" in out
+    assert "intersection" in out
+
+
+@pytest.mark.slow
+def test_smart_home_monitoring(capsys):
+    out = _run("smart_home_monitoring.py", capsys)
+    assert "cold vs warm caches" in out
+    assert "effective fpp" in out
+
+
+@pytest.mark.slow
+def test_capacity_tuning(capsys):
+    out = _run("capacity_tuning.py", capsys)
+    assert "break-even" in out
+    assert "analytical model" in out

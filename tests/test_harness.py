@@ -1,0 +1,135 @@
+"""Tests for the experiment harness (probe runner, sweeps, break-even)."""
+
+import pytest
+
+from repro.baselines import BPlusTree
+from repro.core import BFTree, BFTreeConfig
+from repro.harness import (
+    break_even_curves,
+    break_even_table,
+    format_series,
+    format_table,
+    run_probes,
+    sweep_bf_tree,
+    us,
+)
+from repro.harness.breakeven import BreakEvenCurve
+from repro.storage import MEM_SSD
+from repro.workloads import point_probes
+
+
+@pytest.fixture(scope="module")
+def small_sweep(pk_relation):
+    probes = point_probes(pk_relation, "pk", n_probes=40, hit_rate=1.0)
+    return sweep_bf_tree(
+        pk_relation, "pk", probes, fpps=[0.1, 1e-4],
+        configs=[MEM_SSD], unique=True,
+    )
+
+
+class TestRunProbes:
+    def test_counts(self, pk_relation):
+        tree = BFTree.bulk_load(pk_relation, "pk", BFTreeConfig(fpp=0.01),
+                                unique=True)
+        probes = point_probes(pk_relation, "pk", 50, hit_rate=1.0)
+        stats = run_probes(tree, probes, "MEM/SSD")
+        assert stats.n_probes == 50
+        assert stats.hits == 50
+        assert stats.avg_latency > 0
+        assert stats.hit_rate == 1.0
+
+    def test_partial_hit_rate(self, pk_relation):
+        tree = BPlusTree.bulk_load(pk_relation, "pk", unique=True)
+        probes = point_probes(pk_relation, "pk", 40, hit_rate=0.5)
+        stats = run_probes(tree, probes, "MEM/SSD")
+        assert stats.hits == 20
+
+    def test_warm_faster_than_cold(self, pk_relation):
+        tree = BPlusTree.bulk_load(pk_relation, "pk", unique=True)
+        probes = point_probes(pk_relation, "pk", 30, hit_rate=1.0)
+        cold = run_probes(tree, probes, "SSD/SSD", warm=False)
+        warm = run_probes(tree, probes, "SSD/SSD", warm=True)
+        assert warm.avg_latency < cold.avg_latency
+        assert warm.index_reads_per_search < cold.index_reads_per_search
+
+    def test_unbinds_after_run(self, pk_relation):
+        tree = BPlusTree.bulk_load(pk_relation, "pk", unique=True)
+        probes = point_probes(pk_relation, "pk", 5)
+        run_probes(tree, probes, "MEM/SSD")
+        assert tree.store.device is None
+
+    def test_accepts_plain_key_list(self, pk_relation):
+        tree = BPlusTree.bulk_load(pk_relation, "pk", unique=True)
+        stats = run_probes(tree, [1, 2, 3], "MEM/SSD")
+        assert stats.hits == 3
+
+
+class TestSweep:
+    def test_points_cover_grid(self, small_sweep):
+        assert small_sweep.fpps == [0.1, 1e-4]
+        assert small_sweep.configs == ["MEM/SSD"]
+        assert len(small_sweep.points) == 2
+
+    def test_capacity_gain_decreases_with_accuracy(self, small_sweep):
+        assert small_sweep.capacity_gain(0.1) > small_sweep.capacity_gain(1e-4)
+
+    def test_normalized_performance_improves_with_accuracy(self, small_sweep):
+        assert small_sweep.normalized_performance(
+            1e-4, "MEM/SSD"
+        ) > small_sweep.normalized_performance(0.1, "MEM/SSD")
+
+    def test_unknown_lookup(self, small_sweep):
+        with pytest.raises(KeyError):
+            small_sweep.latency(0.5, "MEM/SSD")
+        with pytest.raises(KeyError):
+            small_sweep.capacity_gain(0.123)
+
+
+class TestBreakEven:
+    def test_interpolated_crossing(self):
+        curve = BreakEvenCurve(
+            config="X",
+            capacity_gains=(2.0, 10.0),
+            normalized_performance=(1.2, 0.8),
+        )
+        gain = curve.break_even_gain()
+        assert gain == pytest.approx(2.0 + 0.5 * 8.0)
+
+    def test_never_crossing(self):
+        curve = BreakEvenCurve("X", (2.0, 10.0), (0.5, 0.9))
+        assert curve.break_even_gain() is None
+        assert curve.break_even_gain(threshold=0.85) == 10.0
+
+    def test_always_above(self):
+        curve = BreakEvenCurve("X", (2.0, 10.0), (1.5, 1.2))
+        assert curve.break_even_gain() == 10.0
+
+    def test_curves_from_sweep(self, small_sweep):
+        curves = break_even_curves(small_sweep)
+        assert len(curves) == 1
+        assert curves[0].config == "MEM/SSD"
+        assert len(curves[0].capacity_gains) == 2
+
+    def test_table_threshold(self, small_sweep):
+        strict = break_even_table(small_sweep, threshold=1.0)
+        parity = break_even_table(small_sweep, threshold=0.5)
+        assert set(strict) == {"MEM/SSD"}
+        assert parity["MEM/SSD"] is not None
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.00001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_table_title(self):
+        assert format_table(["h"], [[1]], title="T").startswith("T\n")
+
+    def test_series(self):
+        text = format_series("bf", [1, 2], [0.5, 0.25])
+        assert text == "bf: (1, 0.5) (2, 0.25)"
+
+    def test_unit_helpers(self):
+        assert us(1e-6) == pytest.approx(1.0)

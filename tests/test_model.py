@@ -1,0 +1,210 @@
+"""Tests for the analytical model: Equations 2-14 and the Figure 4 claims."""
+
+import math
+
+import pytest
+
+from repro.model import (
+    COMPRESSED_SIZE_RATIO,
+    FIGURE4_PARAMS,
+    ModelParams,
+    bf_cost,
+    bf_height,
+    bf_keys_per_page,
+    bf_leaves,
+    bf_pages_per_leaf,
+    bf_size,
+    bp_cost,
+    bp_height,
+    bp_leaves,
+    bp_size,
+    compare_at,
+    crossover_fpp,
+    fanout,
+    insert_series,
+    matching_pages,
+    smallest_at_equal_size,
+    summarize,
+    sustainable_insert_ratio,
+    sweep_fpp,
+    tradeoff_summary,
+)
+from repro.model.comparison import default_fpp_grid
+from repro.model.inserts import figure14a_grid, figure14b_grid
+
+
+class TestParams:
+    def test_defaults_are_figure4(self):
+        p = FIGURE4_PARAMS
+        assert (p.pagesize, p.tuplesize, p.keysize, p.ptrsize) == (
+            4096, 256, 32, 8,
+        )
+        assert (p.idxIO, p.dataIO, p.seqDtIO) == (1, 50, 5)
+        assert p.relation_bytes == 1 << 30   # 1 GB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelParams(fpp=0)
+        with pytest.raises(ValueError):
+            ModelParams(avgcard=0.5)
+        with pytest.raises(ValueError):
+            ModelParams(tuplesize=8192)
+
+    def test_with_fpp(self):
+        assert FIGURE4_PARAMS.with_fpp(0.5).fpp == 0.5
+
+    def test_with_io(self):
+        p = FIGURE4_PARAMS.with_io(1, 2, 3)
+        assert (p.idxIO, p.dataIO, p.seqDtIO) == (1, 2, 3)
+
+
+class TestEquations:
+    def test_eq2_fanout(self):
+        assert fanout(FIGURE4_PARAMS) == pytest.approx(4096 / 40)
+
+    def test_eq3_bp_leaves(self):
+        p = FIGURE4_PARAMS
+        assert bp_leaves(p) == pytest.approx(p.notuples * 40 / 4096)
+
+    def test_eq4_height(self):
+        assert bp_height(FIGURE4_PARAMS) == 4
+
+    def test_eq5_keys_per_page(self):
+        p = FIGURE4_PARAMS.with_fpp(1e-3)
+        expected = -4096 * 8 * math.log(2) ** 2 / math.log(1e-3)
+        assert bf_keys_per_page(p) == pytest.approx(expected)
+
+    def test_eq6_dedups_by_cardinality(self):
+        p = FIGURE4_PARAMS.with_fpp(1e-3)
+        p11 = ModelParams(**{**vars(p), "avgcard": 11.0})
+        assert bf_leaves(p11) == pytest.approx(bf_leaves(p) / 11)
+
+    def test_eq7_shorter_than_bp(self):
+        p = FIGURE4_PARAMS.with_fpp(1e-3)
+        assert bf_height(p) <= bp_height(p)
+
+    def test_eq8_pages_per_leaf(self):
+        p = FIGURE4_PARAMS.with_fpp(1e-3)
+        expected = bf_keys_per_page(p) * 1.0 * 256 / 4096
+        assert bf_pages_per_leaf(p) == pytest.approx(expected)
+
+    def test_eq9_eq10_sizes(self):
+        p = FIGURE4_PARAMS.with_fpp(1e-3)
+        assert bf_size(p) < bp_size(p)
+
+    def test_eq11_matching_pages(self):
+        assert matching_pages(FIGURE4_PARAMS) == 1
+        wide = ModelParams(**{**vars(FIGURE4_PARAMS), "avgcard": 100.0})
+        assert matching_pages(wide) == math.ceil(100 * 256 / 4096)
+
+    def test_eq12_cost(self):
+        p = FIGURE4_PARAMS
+        assert bp_cost(p) == bp_height(p) * 1 + 1 * 50
+
+    def test_eq13_false_positive_term(self):
+        cheap = bf_cost(FIGURE4_PARAMS.with_fpp(1e-9))
+        pricey = bf_cost(FIGURE4_PARAMS.with_fpp(0.3))
+        assert pricey > cheap
+
+    def test_summarize_keys(self):
+        summary = summarize(FIGURE4_PARAMS)
+        for symbol in ("BPleaves", "BFleaves", "BPcost", "BFcost", "mP"):
+            assert symbol in summary
+
+
+class TestFigure4Claims:
+    def test_crossover_near_1e_minus_3(self):
+        """Paper: BF-Tree beats B+-Tree on time for fpp <= ~0.001."""
+        crossing = crossover_fpp(FIGURE4_PARAMS)
+        assert crossing is not None
+        assert 1e-4 <= crossing <= 3e-3
+
+    def test_silt_bands(self):
+        """Paper: SILT 5% faster cached, 32% slower when trie loads."""
+        point = compare_at(FIGURE4_PARAMS.with_fpp(1e-3))
+        assert point.silt_time_cached == pytest.approx(0.95, abs=0.02)
+        assert point.silt_time_loaded == pytest.approx(1.32, abs=0.03)
+
+    def test_fd_size_equals_bp(self):
+        assert compare_at(FIGURE4_PARAMS).fd_size == 1.0
+
+    def test_fd_time_competitive(self):
+        point = compare_at(FIGURE4_PARAMS.with_fpp(1e-3))
+        assert abs(point.fd_time - point.bf_time) < 0.1
+
+    def test_bf_size_meets_compressed_near_1e_minus_8(self):
+        """Paper: BF-Tree matches the compressed B+-Tree at fpp = 1e-8."""
+        fpp = smallest_at_equal_size(FIGURE4_PARAMS)
+        assert 1e-10 < fpp < 1e-6
+        point = compare_at(FIGURE4_PARAMS.with_fpp(fpp))
+        assert point.bf_size == pytest.approx(COMPRESSED_SIZE_RATIO, rel=0.05)
+
+    def test_smallest_index_in_band(self):
+        """Paper: for fpp in [1e-8, 1e-3] BF-Tree is smallest with time
+        within 5% of the fastest configuration.  At the 1e-8 edge the
+        BF-Tree and the compressed B+-Tree sizes coincide (within ~25%)."""
+        for exp in range(-8, -2):
+            point = compare_at(FIGURE4_PARAMS.with_fpp(10.0**exp))
+            assert point.bf_size <= COMPRESSED_SIZE_RATIO * 1.25
+            assert point.bf_size < point.silt_size < point.fd_size
+            fastest = min(point.fd_time, point.silt_time_cached, point.bf_time)
+            assert point.bf_time <= fastest * 1.06
+
+    def test_sweep_ordering(self):
+        grid = default_fpp_grid()
+        points = sweep_fpp(FIGURE4_PARAMS, grid)
+        sizes = [pt.bf_size for pt in points]
+        assert sizes == sorted(sizes, reverse=True)  # smaller fpp = bigger
+
+
+class TestFigure14:
+    def test_series_monotone(self):
+        series = insert_series(1e-3, figure14a_grid())
+        values = [pt.new_fpp for pt in series]
+        assert values == sorted(values)
+
+    def test_linear_regime_small_ratios(self):
+        """Figure 14a: near-linear growth for ratios up to 12%."""
+        series = insert_series(1e-4, [0.0, 0.06, 0.12])
+        y0, y1, y2 = (pt.new_fpp for pt in series)
+        slope1 = (y1 - y0) / 0.06
+        slope2 = (y2 - y1) / 0.06
+        assert slope2 == pytest.approx(slope1, rel=0.75)
+
+    def test_converges_long_run(self):
+        """Figure 14b: fpp converges toward 1 for very large ratios."""
+        last = insert_series(1e-4, figure14b_grid())[-1]
+        assert last.new_fpp > 0.2
+
+    def test_paper_numeric_examples(self):
+        """§7: fpp=0.01%, +1% -> ~0.011%; +10% -> ~0.023%."""
+        assert insert_series(1e-4, [0.01])[0].new_fpp == pytest.approx(
+            1.096e-4, rel=0.01
+        )
+        assert insert_series(1e-4, [0.10])[0].new_fpp == pytest.approx(
+            2.31e-4, rel=0.01
+        )
+
+    def test_sustainable_ratio_inverts_eq14(self):
+        ratio = sustainable_insert_ratio(1e-4, 1e-3)
+        from repro.core.bloom import fpp_after_inserts
+
+        assert fpp_after_inserts(1e-4, ratio) == pytest.approx(1e-3)
+
+    def test_sustainable_ratio_validation(self):
+        with pytest.raises(ValueError):
+            sustainable_insert_ratio(1e-3, 1e-4)
+
+
+class TestFigure2:
+    def test_clusters_separate(self):
+        """HDD cluster: cheap capacity, low IOPS; SSD the opposite."""
+        summary = tradeoff_summary()
+        assert summary["HDD"]["min_gb_per_dollar"] > summary["SSD"][
+            "max_gb_per_dollar"
+        ]
+        assert summary["SSD"]["min_iops"] > summary["HDD"]["max_iops"]
+
+    def test_iops_gap_orders_of_magnitude(self):
+        summary = tradeoff_summary()
+        assert summary["SSD"]["max_iops"] / summary["HDD"]["min_iops"] > 1000

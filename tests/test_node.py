@@ -1,0 +1,142 @@
+"""Unit tests for the shared internal-node machinery (InnerTree)."""
+
+import pytest
+
+from repro.core.node import InnerTree, InternalNode, NodeStore, fanout_for
+from repro.storage import IOStats, SimulatedClock
+from repro.storage.device import SSD_PROFILE, Device
+
+
+class TestFanout:
+    def test_equation_two_default(self):
+        assert fanout_for(8, 8, 4096) == 256
+
+    def test_paper_figure4_fanout(self):
+        assert fanout_for(32, 8, 4096) == 102
+
+    def test_too_small_page(self):
+        with pytest.raises(ValueError):
+            fanout_for(4096, 4096, 4096)
+
+
+class TestInternalNode:
+    def _node(self):
+        return InternalNode(node_id=0, keys=[10, 20, 30],
+                            children=[100, 101, 102, 103])
+
+    def test_child_routing(self):
+        node = self._node()
+        assert node.child_for(5) == 100
+        assert node.child_for(10) == 101    # separator routes right
+        assert node.child_for(15) == 101
+        assert node.child_for(30) == 103
+        assert node.child_for(99) == 103
+
+    def test_child_index(self):
+        assert self._node().child_index(102) == 2
+
+
+def _tree(fanout=4):
+    return InnerTree(NodeStore(), fanout=fanout)
+
+
+class TestBuild:
+    def test_single_leaf(self):
+        tree = _tree()
+        tree.build([], [77])
+        assert tree.descend(123, charge_io=False) == (77, [])
+        assert tree.height == 1
+        assert tree.n_internal_nodes == 0
+
+    def test_one_level(self):
+        tree = _tree(fanout=4)
+        tree.build([10, 20], [0, 1, 2])
+        assert tree.descend(5, charge_io=False)[0] == 0
+        assert tree.descend(10, charge_io=False)[0] == 1
+        assert tree.descend(25, charge_io=False)[0] == 2
+        assert tree.height == 2
+
+    def test_two_levels(self):
+        leaf_ids = list(range(100, 116))
+        separators = [i * 10 for i in range(1, 16)]
+        tree = _tree(fanout=4)
+        tree.build(separators, leaf_ids)
+        assert tree.height == 3
+        for i, leaf in enumerate(leaf_ids):
+            key = i * 10 + 5
+            assert tree.descend(key, charge_io=False)[0] == leaf
+
+    def test_iter_leaf_ids_ordered(self):
+        leaf_ids = list(range(100, 120))
+        separators = list(range(1, 20))
+        tree = _tree(fanout=3)
+        tree.build(separators, leaf_ids)
+        assert tree.iter_leaf_ids() == leaf_ids
+
+    def test_bad_separator_count(self):
+        with pytest.raises(ValueError):
+            _tree().build([1, 2, 3], [0, 1])
+
+    def test_descend_empty_tree(self):
+        with pytest.raises(LookupError):
+            _tree().descend(1)
+
+    def test_no_dangling_single_child(self):
+        """Packing never leaves a one-child internal node."""
+        tree = _tree(fanout=4)
+        leaf_ids = list(range(5))     # 5 = 4 + 1 would dangle
+        tree.build([10, 20, 30, 40], leaf_ids)
+        for node in tree.nodes.values():
+            assert len(node.children) >= 2
+
+
+class TestDescendIO:
+    def test_charges_one_read_per_level(self):
+        store = NodeStore(
+            device=Device(SSD_PROFILE, SimulatedClock(), IOStats(), role="index")
+        )
+        tree = InnerTree(store, fanout=4)
+        leaf_ids = list(range(100, 116))
+        tree.build([i * 10 for i in range(1, 16)], leaf_ids)
+        before = store.device.stats.index_reads
+        _, path = tree.descend(55)
+        assert store.device.stats.index_reads - before == len(path) == 2
+
+
+class TestSplits:
+    def test_degenerate_split_creates_root(self):
+        tree = _tree(fanout=4)
+        tree.register_single_leaf(0)
+        tree.split_child(0, separator=50, new_leaf=1)
+        assert tree.root_id is not None
+        assert tree.descend(10, charge_io=False)[0] == 0
+        assert tree.descend(50, charge_io=False)[0] == 1
+
+    def test_split_inserts_separator(self):
+        tree = _tree(fanout=4)
+        tree.build([10, 20], [0, 1, 2])
+        tree.split_child(1, separator=15, new_leaf=3)
+        assert tree.descend(12, charge_io=False)[0] == 1
+        assert tree.descend(16, charge_io=False)[0] == 3
+
+    def test_cascading_splits_keep_routing(self):
+        tree = _tree(fanout=4)
+        tree.register_single_leaf(0)
+        # Split leaves repeatedly: leaf i covers keys [i*10, i*10+10).
+        next_leaf = 1
+        for sep in range(10, 300, 10):
+            victim = tree.descend(sep - 1, charge_io=False)[0]
+            tree.split_child(victim, separator=sep, new_leaf=next_leaf)
+            next_leaf += 1
+        for i in range(30):
+            leaf = tree.descend(i * 10 + 5, charge_io=False)[0]
+            assert leaf == i
+        for node in tree.nodes.values():
+            assert len(node.children) <= 4
+            assert len(node.keys) == len(node.children) - 1
+
+    def test_registering_into_nonempty_fails(self):
+        tree = _tree()
+        tree.register_single_leaf(0)
+        with pytest.raises(ValueError):
+            tree.register_single_leaf(1)

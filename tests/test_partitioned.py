@@ -1,0 +1,124 @@
+"""Tests for partitioned (non-sorted, implicitly clustered) indexing.
+
+Paper §4.1: "The connection between the page range and the key range does
+not imply sorted data ... if the dataset is partitioned using the index
+key the same connection is still valid."  The canonical case is TPCH's
+commitdate when the table is sorted on shipdate (Figure 1a).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BFTree, BFTreeConfig
+from repro.storage import Relation, build_stack
+from repro.workloads import tpch
+
+
+@pytest.fixture(scope="module")
+def lineitem():
+    return tpch.generate(16384)      # sorted on shipdate
+
+
+@pytest.fixture(scope="module")
+def commit_tree(lineitem):
+    return BFTree.bulk_load(
+        lineitem, "commitdate", BFTreeConfig(fpp=1e-4), ordered=False
+    )
+
+
+class TestConstruction:
+    def test_unsorted_requires_explicit_flag(self, lineitem):
+        with pytest.raises(ValueError, match="ordered=False"):
+            BFTree.bulk_load(lineitem, "commitdate")
+
+    def test_sorted_with_ordered_false_allowed(self, lineitem):
+        tree = BFTree.bulk_load(
+            lineitem, "shipdate", BFTreeConfig(fpp=0.01), ordered=False
+        )
+        assert not tree.ordered
+
+    def test_ordered_true_on_unsorted_rejected(self, lineitem):
+        with pytest.raises(ValueError, match="not sorted"):
+            BFTree.bulk_load(lineitem, "commitdate", ordered=True)
+
+    def test_flag_recorded(self, commit_tree):
+        assert not commit_tree.ordered
+
+    def test_prev_links_complete(self, commit_tree):
+        chain = commit_tree.leaves_in_order()
+        for prev, nxt in zip(chain, chain[1:]):
+            assert nxt.prev_leaf_id == prev.node_id
+
+    def test_directory_separators_monotone(self, commit_tree):
+        """The directory's routing fences are non-decreasing even though
+        the raw leaf minimums are not."""
+        if commit_tree.inner.root_id is None:
+            pytest.skip("single-leaf tree")
+        for node in commit_tree.inner.nodes.values():
+            assert node.keys == sorted(node.keys)
+
+
+class TestProbes:
+    def test_every_key_found_exactly(self, lineitem, commit_tree):
+        commit = np.asarray(lineitem.columns["commitdate"])
+        rng = np.random.default_rng(9)
+        commit_tree.bind(build_stack("MEM/SSD"))
+        for key in rng.choice(np.unique(commit), size=60, replace=False):
+            key = int(key)
+            result = commit_tree.search(key)
+            assert result.matches == int(np.count_nonzero(commit == key))
+        commit_tree.unbind()
+
+    def test_misses(self, lineitem, commit_tree):
+        commit = np.asarray(lineitem.columns["commitdate"])
+        assert not commit_tree.search(int(commit.max()) + 7).found
+        assert not commit_tree.search(int(commit.min()) - 7).found
+
+    def test_neighbour_leaves_charged(self, lineitem, commit_tree):
+        """Overlapping ranges mean a probe may read several leaves."""
+        commit = np.asarray(lineitem.columns["commitdate"])
+        stack = build_stack("SSD/SSD")
+        commit_tree.bind(stack)
+        commit_tree.search(int(commit[len(commit) // 2]))
+        # At least root + leaf; possibly more for the overlap walk.
+        assert stack.stats.index_reads >= commit_tree.height
+        commit_tree.unbind()
+
+    def test_range_scan_exact(self, lineitem, commit_tree):
+        commit = np.asarray(lineitem.columns["commitdate"])
+        lo = int(commit.min()) + 50
+        hi = lo + 100
+        expected = int(np.count_nonzero((commit >= lo) & (commit <= hi)))
+        assert commit_tree.range_scan(lo, hi).matches == expected
+
+    def test_probe_cost_close_to_ordered_index(self, lineitem):
+        """Implicit clustering keeps the overlap small: the partitioned
+        index reads only slightly more than an ordered one."""
+        from repro.harness import run_probes
+        from repro.workloads import point_probes
+
+        ship_tree = BFTree.bulk_load(lineitem, "shipdate",
+                                     BFTreeConfig(fpp=1e-4))
+        commit_tree = BFTree.bulk_load(
+            lineitem, "commitdate", BFTreeConfig(fpp=1e-4), ordered=False
+        )
+        ship_probes = point_probes(lineitem, "shipdate", 60, hit_rate=1.0)
+        commit_probes = point_probes(lineitem, "commitdate", 60, hit_rate=1.0)
+        ship_stats = run_probes(ship_tree, ship_probes, "SSD/SSD")
+        commit_stats = run_probes(commit_tree, commit_probes, "SSD/SSD")
+        assert commit_stats.avg_latency < ship_stats.avg_latency * 3
+
+
+class TestShuffledWithinPartitions:
+    def test_locally_shuffled_data(self):
+        """Keys shuffled inside small windows: partitioned but unsorted."""
+        rng = np.random.default_rng(4)
+        keys = np.arange(4096, dtype=np.int64)
+        for start in range(0, 4096, 64):
+            rng.shuffle(keys[start : start + 64])
+        rel = Relation({"k": keys}, tuple_size=256)
+        tree = BFTree.bulk_load(rel, "k", BFTreeConfig(fpp=1e-4),
+                                ordered=False)
+        for key in range(0, 4096, 173):
+            assert tree.search(key).matches == 1, key
+        assert not tree.search(5000).found

@@ -1,0 +1,111 @@
+"""Unit tests for the page-based relation."""
+
+import numpy as np
+import pytest
+
+from repro.storage import IOStats, PAGE_SIZE, Relation, SimulatedClock
+from repro.storage.device import SSD_PROFILE, Device
+
+
+def _relation(n=100, tuple_size=256):
+    return Relation({"k": np.arange(n, dtype=np.int64)}, tuple_size=tuple_size)
+
+
+def _device():
+    return Device(SSD_PROFILE, SimulatedClock(), IOStats())
+
+
+class TestGeometry:
+    def test_tuples_per_page(self):
+        assert _relation().tuples_per_page == PAGE_SIZE // 256
+
+    def test_npages_ceil(self):
+        rel = _relation(n=17, tuple_size=256)  # 16 tuples/page -> 2 pages
+        assert rel.npages == 2
+
+    def test_page_of(self):
+        rel = _relation(n=100)
+        assert rel.page_of(0) == 0
+        assert rel.page_of(16) == 1
+
+    def test_page_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            _relation(10).page_of(10)
+
+    def test_page_bounds_last_partial(self):
+        rel = _relation(n=20)
+        first, last = rel.page_bounds(1)
+        assert (first, last) == (16, 20)
+
+    def test_page_bounds_invalid(self):
+        with pytest.raises(IndexError):
+            _relation(10).page_bounds(5)
+
+    def test_size_bytes(self):
+        rel = _relation(n=32)
+        assert rel.size_bytes == rel.npages * PAGE_SIZE
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation({}, tuple_size=100)
+
+    def test_mismatched_column_lengths(self):
+        with pytest.raises(ValueError):
+            Relation(
+                {"a": np.arange(5), "b": np.arange(6)}, tuple_size=100
+            )
+
+    def test_oversized_tuple(self):
+        with pytest.raises(ValueError):
+            Relation({"a": np.arange(5)}, tuple_size=PAGE_SIZE + 1)
+
+
+class TestAccess:
+    def test_view_page_contents(self):
+        rel = _relation(n=40)
+        view = rel.view_page(1)
+        assert list(view.column("k")) == list(range(16, 32))
+        assert view.first_tid == 16
+        assert len(view) == 16
+
+    def test_fetch_page_charges_device(self):
+        rel = _relation()
+        device = _device()
+        rel.fetch_page(3, device)
+        assert device.stats.data_random_reads == 1
+
+    def test_scan_pages_sequential(self):
+        rel = _relation(n=64)  # 4 pages
+        device = _device()
+        pages = list(rel.scan_pages(device))
+        assert len(pages) == 4
+        assert device.stats.data_random_reads == 1
+        assert device.stats.data_seq_reads == 3
+
+    def test_scan_page_for_key_counts(self):
+        rel = Relation(
+            {"k": np.asarray([1, 2, 2, 2, 3], dtype=np.int64)}, tuple_size=512
+        )
+        device = _device()
+        view = rel.view_page(0)
+        assert rel.scan_page_for_key(view, "k", 2, device) == 3
+
+    def test_scan_stop_early(self):
+        rel = _relation(n=16)
+        device = _device()
+        rel.scan_page_for_key(rel.view_page(0), "k", 2, device, stop_early=True)
+        # keys 0,1,2 then stop at 3 -> 4 tuples examined
+        assert device.stats.tuples_scanned == 4
+
+    def test_scan_full_when_not_stopping(self):
+        rel = _relation(n=16)
+        device = _device()
+        rel.scan_page_for_key(rel.view_page(0), "k", 2, device, stop_early=False)
+        assert device.stats.tuples_scanned == 16
+
+    def test_multi_column_views(self):
+        rel = Relation(
+            {"a": np.arange(10), "b": np.arange(10) * 2}, tuple_size=512
+        )
+        view = rel.view_page(0)
+        assert list(view.column("b")) == [0, 2, 4, 6, 8, 10, 12, 14]

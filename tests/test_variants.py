@@ -1,0 +1,164 @@
+"""Tests for the counting and scalable Bloom-filter variants (§2, §7)."""
+
+import random
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.variants import CountingBloomFilter, ScalableBloomFilter
+
+
+class TestCountingBasics:
+    def test_no_false_negatives(self):
+        cbf = CountingBloomFilter(512, k=4)
+        keys = random.Random(1).sample(range(10**9), 40)
+        for key in keys:
+            cbf.add(key)
+        assert all(cbf.might_contain(k) for k in keys)
+
+    def test_contains_operator(self):
+        cbf = CountingBloomFilter(64, 3)
+        cbf.add(9)
+        assert 9 in cbf
+
+    def test_empty_rejects(self):
+        assert not CountingBloomFilter(64, 3).might_contain(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(64, 0)
+        with pytest.raises(ValueError):
+            CountingBloomFilter(64, 3, counter_bits=1)
+
+    def test_for_capacity_matches_plain_sizing(self):
+        cbf = CountingBloomFilter.for_capacity(100, 0.01)
+        bf = BloomFilter.for_capacity(100, 0.01)
+        assert cbf.nbits == bf.nbits
+
+    def test_space_cost_is_counter_bits(self):
+        cbf = CountingBloomFilter(800, 3, counter_bits=4)
+        bf = BloomFilter(800, 3)
+        assert cbf.size_bytes() == 4 * bf.size_bytes()
+
+
+class TestCountingDeletes:
+    def test_remove_restores_state(self):
+        """Deleting a key removes it without touching other keys."""
+        cbf = CountingBloomFilter(1024, k=4)
+        keys = random.Random(2).sample(range(10**9), 30)
+        for key in keys:
+            cbf.add(key)
+        victim = keys[7]
+        assert cbf.remove(victim)
+        for key in keys:
+            if key != victim:
+                assert cbf.might_contain(key)
+
+    def test_remove_absent_key_noop(self):
+        cbf = CountingBloomFilter(256, 3)
+        cbf.add(5)
+        before = bytes(cbf._counters)
+        assert not cbf.remove(999_999_999)
+        assert bytes(cbf._counters) == before
+
+    def test_remove_duplicate_occurrences(self):
+        cbf = CountingBloomFilter(256, 3)
+        cbf.add(5)
+        cbf.add(5)
+        assert cbf.remove(5)
+        assert cbf.might_contain(5)   # one occurrence left
+        assert cbf.remove(5)
+
+    def test_delete_does_not_raise_fpp(self):
+        """Unlike §7's in-place bit clearing, counter deletes keep the
+        fill fraction at the pre-insert level."""
+        cbf = CountingBloomFilter.for_capacity(200, 0.01, k=7)
+        rng = random.Random(3)
+        keys = rng.sample(range(10**9), 200)
+        for key in keys:
+            cbf.add(key)
+        baseline = cbf.fill_fraction()
+        extra = rng.sample(range(2 * 10**9, 3 * 10**9), 50)
+        for key in extra:
+            cbf.add(key)
+        assert cbf.fill_fraction() >= baseline
+        for key in extra:
+            cbf.remove(key)
+        assert cbf.fill_fraction() == pytest.approx(baseline, abs=0.01)
+
+    def test_counter_saturation_safe(self):
+        """Saturated counters are never decremented (no false negatives)."""
+        cbf = CountingBloomFilter(8, k=2, counter_bits=2)   # tiny: saturates
+        for i in range(50):
+            cbf.add(i)
+        for i in range(50):
+            cbf.remove(i)
+        # Saturation means residual bits may remain, but adds are intact.
+        cbf.add(123)
+        assert cbf.might_contain(123)
+
+
+class TestScalable:
+    def test_no_false_negatives_across_growth(self):
+        sbf = ScalableBloomFilter(initial_capacity=32, max_fpp=0.01)
+        keys = random.Random(4).sample(range(10**9), 500)
+        for key in keys:
+            sbf.add(key)
+        assert sbf.n_stages > 1
+        assert all(sbf.might_contain(k) for k in keys)
+
+    def test_stage_growth_geometric(self):
+        sbf = ScalableBloomFilter(initial_capacity=16, growth=2)
+        for i in range(100):
+            sbf.add(i)
+        assert sbf._stage_capacity[:3] == [16, 32, 64]
+
+    def test_compound_fpp_stays_bounded(self):
+        """The point of the structure: fpp stays below the ceiling even
+        after growing far past the initial capacity."""
+        rng = random.Random(5)
+        sbf = ScalableBloomFilter(initial_capacity=100, max_fpp=0.02)
+        for key in rng.sample(range(10**9), 2000):
+            sbf.add(key)
+        probes = rng.sample(range(10**9, 2 * 10**9), 30_000)
+        rate = sum(sbf.might_contain(p) for p in probes) / len(probes)
+        assert rate < 0.05   # ceiling 0.02 with sampling slack
+
+    def test_plain_filter_degrades_in_contrast(self):
+        """The same overfill on a plain filter blows past the target."""
+        rng = random.Random(6)
+        bf = BloomFilter.for_capacity(100, 0.02, k=5)
+        for key in rng.sample(range(10**9), 2000):
+            bf.add(key)
+        probes = rng.sample(range(10**9, 2 * 10**9), 10_000)
+        rate = sum(bf.might_contain(p) for p in probes) / len(probes)
+        assert rate > 0.5
+
+    def test_expected_fpp_monotone(self):
+        sbf = ScalableBloomFilter(initial_capacity=64, max_fpp=0.01)
+        previous = 0.0
+        for i in range(300):
+            sbf.add(i)
+            if i % 100 == 99:
+                current = sbf.expected_fpp()
+                assert current >= previous - 1e-12
+                previous = current
+
+    def test_size_grows_with_stages(self):
+        sbf = ScalableBloomFilter(initial_capacity=16)
+        one_stage = sbf.size_bytes()
+        for i in range(200):
+            sbf.add(i)
+        assert sbf.size_bytes() > one_stage
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(initial_capacity=0)
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(max_fpp=1.5)
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(growth=1)
+        with pytest.raises(ValueError):
+            ScalableBloomFilter(tightening=0.0)

@@ -1,0 +1,176 @@
+"""Tests for the workload generators (synthetic R, TPCH, SHD, queries)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    FIGURE13_FRACTIONS,
+    point_probes,
+    range_queries,
+    shd,
+    synthetic,
+    tpch,
+)
+
+
+class TestSynthetic:
+    def test_pk_unique_and_sorted(self, dup_relation):
+        pk = np.asarray(dup_relation.columns["pk"])
+        assert len(np.unique(pk)) == len(pk)
+        assert np.all(np.diff(pk) > 0)
+
+    def test_att1_sorted_with_duplicates(self, dup_relation):
+        att1 = np.asarray(dup_relation.columns["att1"])
+        assert np.all(np.diff(att1) >= 0)
+        assert len(np.unique(att1)) < len(att1)
+
+    def test_att1_cardinality_near_11(self):
+        rel = synthetic.generate(65536)
+        assert synthetic.average_cardinality(rel, "att1") == pytest.approx(
+            11, rel=0.15
+        )
+
+    def test_tuple_geometry(self, dup_relation):
+        assert dup_relation.tuple_size == 256
+        assert dup_relation.tuples_per_page == 16
+
+    def test_deterministic(self):
+        a = synthetic.generate(1000, seed=5)
+        b = synthetic.generate(1000, seed=5)
+        assert np.array_equal(a.columns["att1"], b.columns["att1"])
+
+    def test_seed_changes_data(self):
+        a = synthetic.generate(1000, seed=5)
+        b = synthetic.generate(1000, seed=6)
+        assert not np.array_equal(a.columns["att1"], b.columns["att1"])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            synthetic.generate(0)
+
+    def test_distinct_keys_helper(self, dup_relation):
+        distinct = synthetic.distinct_keys(dup_relation, "att1")
+        assert np.all(np.diff(distinct) > 0)
+
+
+class TestTPCH:
+    def test_sorted_on_shipdate(self, tpch_relation):
+        ship = np.asarray(tpch_relation.columns["shipdate"])
+        assert np.all(np.diff(ship) >= 0)
+
+    def test_dbgen_date_relationships(self):
+        rel = tpch.generate(4096, sort_on=None)
+        order = np.asarray(rel.columns["orderdate"])
+        ship = np.asarray(rel.columns["shipdate"])
+        receipt = np.asarray(rel.columns["receiptdate"])
+        commit = np.asarray(rel.columns["commitdate"])
+        assert np.all((ship - order >= 1) & (ship - order <= 121))
+        assert np.all((commit - order >= 30) & (commit - order <= 90))
+        assert np.all((receipt - ship >= 1) & (receipt - ship <= 30))
+
+    def test_cardinality_scales_with_n(self):
+        small = tpch.generate(4096)
+        large = tpch.generate(16384)
+        assert tpch.shipdate_cardinality(large) > tpch.shipdate_cardinality(
+            small
+        )
+
+    def test_implicit_clustering_spread_small(self):
+        """Figure 1a: the three dates stay close in creation order."""
+        rel = tpch.generate(16384, sort_on=None)
+        spread = tpch.clustering_spread(rel)
+        assert spread < tpch.ORDER_DATE_SPAN_DAYS * 0.05
+
+    def test_clustering_series_shape(self, tpch_relation):
+        series = tpch.clustering_series(tpch_relation, first_n=1000)
+        assert set(series) == {"shipdate", "commitdate", "receiptdate"}
+        assert all(len(v) == 1000 for v in series.values())
+
+    def test_tuple_size_200(self, tpch_relation):
+        assert tpch_relation.tuple_size == 200
+
+
+class TestSHD:
+    def test_timestamps_sorted(self, shd_relation):
+        ts = np.asarray(shd_relation.columns["timestamp"])
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_cardinality_profile_bands(self):
+        """Match the published SHD statistics: mean ~52, min >= 21,
+        99.7% <= ~126, heavy tail above."""
+        rel = shd.generate(1 << 17, seed=3)
+        profile = shd.cardinality_profile(rel)
+        assert profile["mean"] == pytest.approx(52, rel=0.25)
+        assert profile["min"] >= shd.MIN_CARDINALITY
+        assert profile["max"] <= shd.MAX_CARDINALITY
+        assert profile["p997"] <= shd.BULK_MAX_CARDINALITY * 1.3
+
+    def test_heavy_tail_exists(self):
+        rel = shd.generate(1 << 17, seed=3)
+        profile = shd.cardinality_profile(rel)
+        assert profile["max"] > shd.BULK_MAX_CARDINALITY
+
+    def test_energy_monotone_per_client(self, shd_relation):
+        clients = np.asarray(shd_relation.columns["client"])
+        energy = np.asarray(shd_relation.columns["energy"])
+        for client in np.unique(clients)[:5]:
+            series = energy[clients == client]
+            assert np.all(np.diff(series) >= 0)
+
+    def test_clustering_series(self, shd_relation):
+        series = shd.clustering_series(shd_relation, first_n=500)
+        assert len(series["timestamp"]) == 500
+        assert len(series["energy"]) == 500
+
+    def test_deterministic(self):
+        a = shd.generate(2048, seed=1)
+        b = shd.generate(2048, seed=1)
+        assert np.array_equal(a.columns["timestamp"], b.columns["timestamp"])
+
+
+class TestPointProbes:
+    def test_exact_hit_rate(self, pk_relation):
+        probes = point_probes(pk_relation, "pk", n_probes=200, hit_rate=0.25)
+        assert probes.hit_rate == pytest.approx(0.25)
+
+    def test_hits_exist_in_column(self, tpch_relation):
+        probes = point_probes(tpch_relation, "shipdate", 100, hit_rate=1.0)
+        present = set(np.asarray(tpch_relation.columns["shipdate"]).tolist())
+        assert all(int(k) in present for k in probes.keys)
+
+    def test_misses_absent_from_column(self, tpch_relation):
+        probes = point_probes(tpch_relation, "shipdate", 100, hit_rate=0.0)
+        present = set(np.asarray(tpch_relation.columns["shipdate"]).tolist())
+        assert all(int(k) not in present for k in probes.keys)
+
+    def test_misses_for_dense_domain(self, pk_relation):
+        """pk covers every value in range; misses must still be found."""
+        probes = point_probes(pk_relation, "pk", 50, hit_rate=0.0)
+        assert len(probes) == 50
+        assert all(not (0 <= int(k) < 8192) for k in probes.keys)
+
+    def test_deterministic(self, pk_relation):
+        a = point_probes(pk_relation, "pk", 100, seed=9)
+        b = point_probes(pk_relation, "pk", 100, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_invalid_hit_rate(self, pk_relation):
+        with pytest.raises(ValueError):
+            point_probes(pk_relation, "pk", 10, hit_rate=1.5)
+
+
+class TestRangeQueries:
+    def test_width_matches_fraction(self, pk_relation):
+        for query in range_queries(pk_relation, "pk", fraction=0.1):
+            assert query.hi - query.lo + 1 == int(8192 * 0.1)
+
+    def test_within_domain(self, pk_relation):
+        for query in range_queries(pk_relation, "pk", 0.05):
+            assert query.lo >= 0
+
+    def test_figure13_fractions(self):
+        assert FIGURE13_FRACTIONS == (0.01, 0.05, 0.10, 0.20)
+
+    def test_invalid_fraction(self, pk_relation):
+        with pytest.raises(ValueError):
+            range_queries(pk_relation, "pk", 0.0)

@@ -52,6 +52,9 @@ def test_ablation_partitioned_vs_ordered(benchmark, emit, tpch_relation):
     # reads are genuine scatter, not index waste: one commitdate's rows
     # really do spread across a ~180-day shipdate window of the file
     # (dbgen draws commitdate = orderdate + U(30,90) while the sort key is
-    # shipdate = orderdate + U(1,121)).
-    assert partitioned_row[2] < ordered_row[2] * 5
+    # shipdate = orderdate + U(1,121)).  Under Eq-13 per-run fetch
+    # accounting each of those disjoint runs costs a random positioning
+    # (the pre-fix charging rode them sequentially), so the latency gap
+    # honestly reflects the scatter: ~7x on SSD/SSD.
+    assert partitioned_row[2] < ordered_row[2] * 10
     assert partitioned_row[1] < ordered_row[1] * 10

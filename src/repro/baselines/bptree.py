@@ -224,6 +224,19 @@ class BPlusTree:
                 break
         return self._fetch_tids(key, sorted(tids))
 
+    def search_many(self, keys) -> list[SearchResult]:
+        """Batch counterpart of :meth:`search` (same protocol as BF-Tree).
+
+        The exact index has no per-filter fan-out to vectorize — a probe
+        is one descent, one binary search and the rid fetch — so this is
+        the per-key loop with the same I/O charging, kept so harness
+        sweeps (``run_probes(..., batch=True)``) stay apples-to-apples
+        when comparing against ``BFTree.search_many``.
+        """
+        return [
+            self.search(k.item() if hasattr(k, "item") else k) for k in keys
+        ]
+
     def _descend_and_read(self, key) -> BPLeaf | None:
         try:
             leaf_id, path = self.inner.descend(key)

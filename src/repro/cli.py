@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro sizes   --workload synthetic --column pk
     python -m repro probe   --index bf --fpp 1e-3 --config MEM/SSD
+    python -m repro probe   --index bf --batch --probes 10000
     python -m repro sweep   --column pk --probes 200
     python -m repro model   --fpp 1e-3
     python -m repro workloads
@@ -115,9 +116,13 @@ def cmd_probe(args: argparse.Namespace) -> int:
     configs = (
         [CONFIGS_BY_NAME[args.config]] if args.config else list(FIVE_CONFIGS)
     )
+    # Report the *effective* mode: run_probes falls back to the scalar
+    # loop for indexes without a search_many.
+    batch = args.batch and hasattr(index, "search_many")
     rows = []
     for config in configs:
-        stats = run_probes(index, probes, config, warm=args.warm)
+        stats = run_probes(index, probes, config, warm=args.warm,
+                           batch=batch)
         rows.append([
             config.name, f"{us(stats.avg_latency):.1f}",
             f"{stats.false_reads_per_search:.3f}",
@@ -131,7 +136,7 @@ def cmd_probe(args: argparse.Namespace) -> int:
          "index reads", "hit rate"],
         rows,
         title=f"{args.index} probe on {args.workload}.{column} "
-              f"({size} index pages, warm={args.warm})",
+              f"({size} index pages, warm={args.warm}, batch={batch})",
     ))
     return 0
 
@@ -249,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_probe.add_argument("--probes", type=int, default=200)
     p_probe.add_argument("--hit-rate", type=float, default=1.0)
     p_probe.add_argument("--warm", action="store_true")
+    p_probe.add_argument("--batch", action="store_true",
+                         help="replay the probe set through the index's "
+                              "search_many (vectorized batch-probe engine; "
+                              "same simulated results, much faster to run)")
     p_probe.set_defaults(func=cmd_probe)
 
     p_sweep = sub.add_parser("sweep", help="fpp sweep + break-even analysis")

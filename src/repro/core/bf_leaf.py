@@ -18,11 +18,20 @@ Update support (paper §7): the leaf keeps a *deleted-key list* so deletes
 do not degrade the fpp, and tracks ``extra_inserts`` beyond nominal
 capacity so the effective fpp after overflowing inserts follows
 Equation 14.
+
+Probing comes in two forms: the scalar Algorithm-1 path
+(:meth:`BFLeaf.matching_groups` / :meth:`BFLeaf.matching_page_runs`) and
+a vectorized batch path (:meth:`BFLeaf.matching_groups_many` /
+:meth:`BFLeaf.matching_page_runs_many`) that tests all S filters for N
+probe keys in one NumPy pass — the leaf-level engine behind
+``BFTree.search_many``.  Both paths return identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.bloom import (
     BloomFilter,
@@ -30,6 +39,7 @@ from repro.core.bloom import (
     fpp_after_inserts,
     optimal_hash_count,
 )
+from repro.core.hashing import bloom_positions_batch, keys_to_int_array
 
 LEAF_HEADER_BYTES = 48
 """min_key, max_key, min_pid, S, #keys, next pointer, geometry fields."""
@@ -228,6 +238,9 @@ class BFLeaf:
         self.nkeys += len(keys)
         if self.nkeys > self.key_capacity:
             self.extra_inserts = self.nkeys - self.key_capacity
+        if self.deleted_keys:
+            # Re-inserted keys stop being tombstoned, same as :meth:`add`.
+            self.deleted_keys.difference_update(keys.tolist())
         first, last = keys[0].item(), keys[-1].item()
         if self.min_key is None or first < self.min_key:
             self.min_key = first
@@ -290,16 +303,79 @@ class BFLeaf:
 
     def matching_page_runs(self, key) -> list[tuple[int, int]]:
         """(first_pid, npages) runs to fetch for ``key``, merged when adjacent."""
+        if key in self.deleted_keys:
+            return []
+        return self._build_runs(key, self.matching_groups(key))
+
+    # -- vectorized batch probing --------------------------------------
+    def matching_groups_many(self, keys) -> list[list[int]]:
+        """Vectorized :meth:`matching_groups` over a batch of probe keys.
+
+        Entry ``j`` equals ``matching_groups(keys[j])`` exactly, but all
+        S filters are tested for all N keys in one NumPy pass: the leaf's
+        filters share geometry (nbits/k/seed), so the k bit positions per
+        key are hashed once and gathered against every filter's bitset.
+        """
+        matrix = self._match_matrix(keys)
+        return [
+            [] if key in self.deleted_keys
+            else np.nonzero(matrix[j])[0].tolist()
+            for j, key in enumerate(keys)
+        ]
+
+    def matching_page_runs_many(self, keys) -> list[list[tuple[int, int]]]:
+        """Vectorized :meth:`matching_page_runs` over a batch of probe keys.
+
+        Entry ``j`` equals ``matching_page_runs(keys[j])`` exactly
+        (spill-back handling, tombstones and adjacent-run merging
+        included); only the filter membership tests are batched.
+        """
+        matrix = self._match_matrix(keys)
+        out: list[list[tuple[int, int]]] = []
+        for j, key in enumerate(keys):
+            if key in self.deleted_keys:
+                out.append([])
+            else:
+                out.append(
+                    self._build_runs(key, np.nonzero(matrix[j])[0].tolist())
+                )
+        return out
+
+    def _match_matrix(self, keys) -> np.ndarray:
+        """Raw ``(len(keys), nfilters)`` boolean filter-match matrix.
+
+        No tombstone handling — callers apply the deleted-key list.  All
+        filters of one leaf share nbits/k/seed, so the batch is hashed
+        once (``bloom_positions_batch``) and each filter only gathers its
+        own bits.
+        """
+        n = len(keys)
+        if n == 0 or not self.filters:
+            return np.zeros((n, self.nfilters), dtype=bool)
+        proto = self.filters[0]
+        positions = bloom_positions_batch(
+            keys_to_int_array(keys), proto.k, proto.nbits, proto.seed
+        )
+        matrix = np.empty((n, self.nfilters), dtype=bool)
+        for i, bf in enumerate(self.filters):
+            matrix[:, i] = bf.test_positions(positions)
+        return matrix
+
+    def _build_runs(self, key, groups) -> list[tuple[int, int]]:
+        """Merge matched ``groups`` into fetchable (first_pid, npages) runs.
+
+        ``key`` must not be tombstoned (callers check); it is only used
+        for the spill-back test on the leaf's minimum key.
+        """
         runs: list[tuple[int, int]] = []
         if (
             self.spill_back_pages
             and self.min_key is not None
             and key == self.min_key
-            and key not in self.deleted_keys
         ):
             runs.append((self.min_pid - self.spill_back_pages,
                          self.spill_back_pages))
-        for group in self.matching_groups(key):
+        for group in groups:
             first, npages = self.group_page_range(group)
             if npages <= 0:
                 continue

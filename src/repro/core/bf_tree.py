@@ -11,6 +11,11 @@ Algorithms implemented, with their paper counterparts:
 
 * :meth:`BFTree.search`      — Algorithm 1 (probe all BFs of the leaf,
   fetch matching pages sorted, stop early for unique keys).
+* :meth:`BFTree.search_many` — vectorized Algorithm 1 over a probe batch:
+  identical results and I/O charging to per-key ``search`` calls, with
+  all Bloom-filter tests collapsed into NumPy passes (one per touched
+  leaf).  The harness's ``run_probes(..., batch=True)`` and the CLI's
+  ``probe --batch`` run on it.
 * :meth:`BFTree.insert`      — Algorithm 3 (extend key range, bump #keys,
   add to the per-page BF; split when over capacity).
 * :meth:`BFTree._split_leaf` — Algorithm 2 (rebuild two leaves; we rebuild
@@ -36,7 +41,12 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.bf_leaf import BFLeaf, BFLeafGeometry, LeafOverflow
+from repro.core.bf_leaf import (
+    LEAF_HEADER_BYTES,
+    BFLeaf,
+    BFLeafGeometry,
+    LeafOverflow,
+)
 from repro.core.node import InnerTree, NodeStore, fanout_for
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.clock import CPU_BLOOM_INSERT, CPU_BLOOM_PROBE, CPU_KEY_COMPARE
@@ -260,7 +270,7 @@ class BFTree:
                     bits_per_bf=bits,
                     hash_count=k,
                     max_filters=max(1, (
-                        (self.config.page_size - 48) * 8
+                        (self.config.page_size - LEAF_HEADER_BYTES) * 8
                         // (bits * (geometry.counter_bits
                                     if geometry.filter_kind == "counting"
                                     else 1))
@@ -465,11 +475,12 @@ class BFTree:
 
         Walks the internal nodes (one index read per level), reads the
         BF-leaf, probes all of its Bloom filters, then fetches the matching
-        data-page runs in sorted page order — first page random, the rest
-        charged as sequential (the sorted list handed to the controller,
-        Eq. 13).  For a unique index the fetch loop stops at the first
-        match.  On partitioned (not fully sorted) data, neighbouring
-        leaves whose key ranges also contain the key are probed too.
+        data-page runs in sorted page order — each run charged one random
+        positioning plus sequential reads for its remaining pages (the
+        sorted run list handed to the controller, Eq. 13).  For a unique
+        index the fetch loop stops at the first match.  On partitioned
+        (not fully sorted) data, neighbouring leaves whose key ranges
+        also contain the key are probed too.
         """
         leaf = self._descend_and_read(key)
         if leaf is None:
@@ -488,6 +499,64 @@ class BFTree:
         if not covered:
             return SearchResult(found=False)
         return self._fetch_runs(key, sorted(runs))
+
+    def search_many(self, keys) -> list[SearchResult]:
+        """Vectorized Algorithm 1 over a whole batch of probe keys.
+
+        Returns exactly ``[self.search(k) for k in keys]`` — the same
+        per-key :class:`SearchResult`, the same IOStats counters and the
+        same simulated clock time (the identical set of charges, summed
+        in a different order, so the float total can differ in its last
+        couple of bits) — but the Bloom-filter membership
+        tests, the scalar path's dominant CPU cost (one Python-level loop
+        per filter per probe), collapse into one NumPy pass per touched
+        leaf: keys are routed first, grouped by candidate leaf, and each
+        leaf hashes and tests its whole key group at once via
+        :meth:`BFLeaf.matching_page_runs_many`.  Descents, leaf reads and
+        data-page fetches are charged per key just as ``search`` does.
+        """
+        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        results: list[SearchResult | None] = [None] * len(keys)
+        stats = self._stats()
+        # Phase 1: route every key, charging descent and candidate-leaf
+        # I/O and the per-filter probe CPU exactly like the scalar path.
+        pending: list[tuple[int, object, list[BFLeaf]]] = []
+        by_leaf: dict[int, list[tuple[int, object]]] = {}
+        for i, key in enumerate(keys):
+            leaf = self._descend_and_read(key)
+            if leaf is None:
+                results[i] = SearchResult(found=False)
+                continue
+            candidates = [
+                c for c in self._candidate_leaves(key, leaf)
+                if c.covers_key(key)
+            ]
+            if not candidates:
+                results[i] = SearchResult(found=False)
+                continue
+            for candidate in candidates:
+                if stats is not None:
+                    stats.bloom_probes += candidate.nfilters
+                self._charge_cpu(candidate.nfilters * CPU_BLOOM_PROBE)
+                by_leaf.setdefault(candidate.node_id, []).append((i, key))
+            pending.append((i, key, candidates))
+        # Phase 2: one vectorized filter pass per touched leaf.
+        runs_for: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for leaf_id, probe_group in by_leaf.items():
+            leaf = self.leaves[leaf_id]
+            run_lists = leaf.matching_page_runs_many(
+                [key for _, key in probe_group]
+            )
+            for (i, _), runs in zip(probe_group, run_lists):
+                runs_for[(i, leaf_id)] = runs
+        # Phase 3: fetch matching pages per key (identical I/O charging,
+        # including early termination for unique keys and ordered data).
+        for i, key, candidates in pending:
+            runs: list[tuple[int, int]] = []
+            for candidate in candidates:
+                runs.extend(runs_for[(i, candidate.node_id)])
+            results[i] = self._fetch_runs(key, sorted(runs))
+        return results
 
     def _candidate_leaves(self, key, leaf: BFLeaf) -> list[BFLeaf]:
         """Leaves whose key range may contain ``key``.
@@ -537,10 +606,18 @@ class BFTree:
         return leaf
 
     def _fetch_runs(self, key, runs: list[tuple[int, int]]) -> SearchResult:
+        """Fetch candidate page runs in sorted order and scan them for ``key``.
+
+        Each run is charged like :meth:`Device.read_run` — one random
+        positioning for its first page, sequential for the rest — so
+        disjoint runs pay one seek each (Eq. 13), matching the accounting
+        of ``range_scan`` and ``_rescan_leaf``.  The reads stay page by
+        page (rather than a literal ``read_run`` call) so a unique-key
+        match or an ordered-data overshoot can still terminate mid-run.
+        """
         device = self._data_device
         stats = self._stats()
         result = SearchResult(found=False)
-        first_fetch = True
         done = False
         for first_pid, npages in runs:
             run_matches = 0
@@ -548,8 +625,7 @@ class BFTree:
             for offset in range(npages):
                 pid = first_pid + offset
                 if device is not None:
-                    device.read_page(pid, sequential=not first_fetch)
-                first_fetch = False
+                    device.read_page(pid, sequential=offset > 0)
                 run_pages.append(pid)
                 page_matches, tids, beyond = self._scan_page(pid, key)
                 run_matches += page_matches
@@ -612,16 +688,31 @@ class BFTree:
             raise LookupError("insert into an unbuilt tree; bulk_load first")
         if leaf.nkeys + 1 > leaf.key_capacity:
             left, right = self._split_leaf(leaf)
-            leaf = right if key >= right.min_key else left
+            leaf = self._route_after_split(key, left, right)
         try:
             leaf.add(key, pid)
         except LeafOverflow:
             left, right = self._split_leaf(leaf)
-            target = right if key >= right.min_key else left
+            target = self._route_after_split(key, left, right)
             self._leaf_add_unchecked(target, key, pid)
             leaf = target
         self._charge_cpu(CPU_BLOOM_INSERT)
         self.store.write(leaf.node_id)
+
+    @staticmethod
+    def _route_after_split(key, left: BFLeaf, right: BFLeaf) -> BFLeaf:
+        """Post-split insert routing, tolerant of a degenerate empty side.
+
+        ``_split_leaf`` guarantees both sides hold live keys, but a leaf
+        whose side went empty (e.g. trees deserialized from older state)
+        must not crash routing: an empty side has ``min_key is None``, and
+        comparing against ``None`` raises ``TypeError``.
+        """
+        if right.min_key is None:
+            return left
+        if left.min_key is None:
+            return right
+        return right if key >= right.min_key else left
 
     def insert_overflow(self, key, pid: int) -> None:
         """Index beyond nominal capacity *without* splitting (paper §7).
@@ -663,20 +754,27 @@ class BFTree:
         re-scan the leaf's (small) page range instead — the recomputation
         §3 explicitly calls feasible — which yields the exact key/page
         pairs at the cost of one sequential run over the covered pages.
-        The split point is the median distinct key, the robust variant of
-        Algorithm 2's key-space midpoint.
+        The split point is the median distinct *live* key: tombstoned
+        keys are dropped before the split point is chosen, so a leaf
+        whose keys are half-deleted can never produce a side with no live
+        keys (``min_key is None``), which would crash subsequent insert
+        routing.  Page coverage is still partitioned over *all* scanned
+        pairs, so a tombstoned key that is later re-inserted at its
+        original data page still lands inside its leaf's page range.
         """
         pairs = self._rescan_leaf(leaf)
-        distinct = sorted({key for key, _ in pairs})
+        live = [(k, p) for k, p in pairs if k not in leaf.deleted_keys]
+        distinct = sorted({key for key, _ in live})
         if len(distinct) < 2:
-            raise ValueError("cannot split a leaf holding a single key")
+            raise ValueError(
+                "cannot split a leaf holding fewer than two live keys"
+            )
         mid = distinct[len(distinct) // 2]
         left = self._new_leaf(min_pid=min(p for k, p in pairs if k < mid))
         right = self._new_leaf(min_pid=min(p for k, p in pairs if k >= mid))
-        for key, pid in pairs:
+        for key, pid in live:
             target = right if key >= mid else left
-            if key not in leaf.deleted_keys:
-                self._leaf_add_unchecked(target, key, pid)
+            self._leaf_add_unchecked(target, key, pid)
         left.deleted_keys = {k for k in leaf.deleted_keys if k < mid}
         right.deleted_keys = {k for k in leaf.deleted_keys if k >= mid}
         self._relink(leaf, left, right)

@@ -22,7 +22,14 @@ from __future__ import annotations
 
 import math
 
-from repro.core.hashing import bloom_positions, bloom_positions_batch, key_to_int
+import numpy as np
+
+from repro.core.hashing import (
+    bloom_positions,
+    bloom_positions_batch,
+    key_to_int,
+    keys_to_int_array,
+)
 
 LN2 = math.log(2.0)
 LN2_SQ = LN2 * LN2
@@ -89,15 +96,21 @@ def _check_fpp(fpp: float) -> None:
 # ----------------------------------------------------------------------
 # Runtime structure
 # ----------------------------------------------------------------------
+_BIT = np.uint64(1) << np.arange(64, dtype=np.uint64)
+"""Lookup of single-bit uint64 masks, indexed by bit offset within a word."""
+
+
 class BloomFilter:
     """A fixed-size Bloom filter over integer-canonicalized keys.
 
-    The bit array is a Python big-int (bit ``i`` set means some key mapped
-    there), which is compact and fast for the page-sized filters (a few
-    hundred to a few thousand bits) a BF-leaf contains.
+    The bit array is a NumPy ``uint64`` word array (bit ``i`` of the
+    filter is bit ``i % 64`` of word ``i // 64``), which keeps the scalar
+    probe path cheap while letting :meth:`might_contain_many` test a whole
+    probe batch against the filter in one vectorized gather — the engine
+    behind ``BFTree.search_many``.
     """
 
-    __slots__ = ("nbits", "k", "seed", "_bits", "count")
+    __slots__ = ("nbits", "k", "seed", "_words", "count")
 
     def __init__(self, nbits: int, k: int = DEFAULT_HASH_COUNT, seed: int = 0) -> None:
         if nbits <= 0:
@@ -107,8 +120,17 @@ class BloomFilter:
         self.nbits = nbits
         self.k = k
         self.seed = seed
-        self._bits = 0
+        self._words = np.zeros((nbits + 63) // 64, dtype=np.uint64)
         self.count = 0  # elements added (with multiplicity of distinct adds)
+
+    @property
+    def _bits(self) -> int:
+        """The bit array as one big-int (bit ``i`` set = position ``i`` hit).
+
+        Diagnostic view of the word array; comparisons through it are
+        layout-independent, which the equality tests rely on.
+        """
+        return int.from_bytes(self._words.tobytes(), "little")
 
     @classmethod
     def for_capacity(
@@ -121,8 +143,9 @@ class BloomFilter:
     # ------------------------------------------------------------------
     def add(self, key: object) -> None:
         """Insert ``key`` (no-op on the bit level if all bits already set)."""
+        words = self._words
         for pos in bloom_positions(key_to_int(key), self.k, self.nbits, self.seed):
-            self._bits |= 1 << pos
+            words[pos >> 6] |= _BIT[pos & 63]
         self.count += 1
 
     def bulk_add(self, keys) -> None:
@@ -131,32 +154,52 @@ class BloomFilter:
         Bit-for-bit identical to adding each key with :meth:`add`; used by
         bulk loading, where per-key Python overhead dominates build time.
         """
-        import numpy as np
-
         keys = np.asarray(keys)
         if len(keys) == 0:
             return
         positions = bloom_positions_batch(keys, self.k, self.nbits, self.seed)
-        nbytes = -(-self.nbits // 8)
-        buf = np.zeros(nbytes, dtype=np.uint8)
-        flat = np.unique(positions.ravel())
-        np.bitwise_or.at(buf, flat // 8, (1 << (flat % 8)).astype(np.uint8))
-        self._bits |= int.from_bytes(buf.tobytes(), "little")
+        flat = positions.ravel()
+        np.bitwise_or.at(self._words, flat >> 6, _BIT[flat & 63])
         self.count += len(keys)
 
     def might_contain(self, key: object) -> bool:
         """Membership test: False is definite, True may be a false positive."""
-        bits = self._bits
+        words = self._words
         for pos in bloom_positions(key_to_int(key), self.k, self.nbits, self.seed):
-            if not (bits >> pos) & 1:
+            if not (int(words[pos >> 6]) >> (pos & 63)) & 1:
                 return False
         return True
 
     __contains__ = might_contain
 
+    def might_contain_many(self, keys) -> np.ndarray:
+        """Vectorized :meth:`might_contain` for a batch of keys.
+
+        Returns a boolean array of ``len(keys)``; entry ``j`` equals
+        ``might_contain(keys[j])`` exactly (same double-hashed positions,
+        computed by :func:`~repro.core.hashing.bloom_positions_batch`
+        over the canonicalized uint64 form of each key).
+        """
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        keys = keys_to_int_array(keys)
+        positions = bloom_positions_batch(keys, self.k, self.nbits, self.seed)
+        return self.test_positions(positions)
+
+    def test_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Membership of precomputed ``(n, k)`` bit positions (one row per key).
+
+        Lets a caller that probes many same-geometry filters (a BF-leaf,
+        whose S filters share nbits/k/seed) hash the key batch once and
+        test the resulting positions against every filter.
+        """
+        words = self._words[positions >> 6]
+        bits = (words >> (positions & 63).astype(np.uint64)) & np.uint64(1)
+        return bits.all(axis=1)
+
     # ------------------------------------------------------------------
     def bits_set(self) -> int:
-        """Number of 1-bits in the array."""
+        """Number of 1-bits in the array (diagnostics; not a hot path)."""
         return self._bits.bit_count()
 
     def fill_fraction(self) -> float:
@@ -177,7 +220,7 @@ class BloomFilter:
 
     def clear(self) -> None:
         """Reset to an empty filter."""
-        self._bits = 0
+        self._words[:] = 0
         self.count = 0
 
     # ------------------------------------------------------------------
@@ -189,7 +232,7 @@ class BloomFilter:
         """
         self._check_compatible(other)
         merged = BloomFilter(self.nbits, self.k, self.seed)
-        merged._bits = self._bits | other._bits
+        np.bitwise_or(self._words, other._words, out=merged._words)
         merged.count = self.count + other.count
         return merged
 

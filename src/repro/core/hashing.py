@@ -8,6 +8,11 @@ provably as good as k independent hashes for Bloom filters.
 The base hashes are splitmix64 finalizers with distinct seeds — fast,
 stateless, deterministic across runs and processes (unlike Python's
 builtin ``hash`` with string randomization).
+
+Every function has a scalar and a vectorized (NumPy) form computing the
+exact same arithmetic: :func:`bloom_positions_batch` serves both bulk
+loading and the batch-probe engine (``BloomFilter.might_contain_many``,
+``BFTree.search_many``), so batch and scalar probes agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -95,6 +100,27 @@ def _splitmix64_vec(values):
         v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
         v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
         return v ^ (v >> np.uint64(31))
+
+
+def keys_to_int_array(keys):
+    """Canonicalize a batch of keys to a ``uint64`` NumPy array.
+
+    The vectorized counterpart of :func:`key_to_int`: integer (and bool)
+    arrays pass straight through, wrapping negatives mod 2**64 exactly as
+    the scalar path's ``& MASK64`` masking does; any other element type is
+    folded per element through :func:`key_to_int`.  Feeding the result to
+    :func:`bloom_positions_batch` therefore yields the same bit positions
+    as hashing each key scalarly.
+    """
+    import numpy as np
+
+    arr = np.asarray(keys)
+    if arr.dtype.kind in "iub":
+        with np.errstate(over="ignore"):
+            return arr.astype(np.uint64)
+    return np.asarray(
+        [key_to_int(key) & MASK64 for key in keys], dtype=np.uint64
+    )
 
 
 def key_to_int(key: object) -> int:

@@ -106,6 +106,29 @@ class CountingBloomFilter:
 
     __contains__ = might_contain
 
+    def might_contain_many(self, keys):
+        """Vectorized :meth:`might_contain` for a batch of keys."""
+        import numpy as np
+
+        from repro.core.hashing import bloom_positions_batch, keys_to_int_array
+
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        keys = keys_to_int_array(keys)
+        positions = bloom_positions_batch(keys, self.k, self.nbits, self.seed)
+        return self.test_positions(positions)
+
+    def test_positions(self, positions):
+        """Membership of precomputed ``(n, k)`` positions (one row per key).
+
+        Same contract as :meth:`BloomFilter.test_positions`, so a BF-leaf
+        can batch-probe counting filters through the shared-hash path.
+        """
+        import numpy as np
+
+        counters = np.frombuffer(self._counters, dtype=np.uint8)
+        return (counters[positions] > 0).all(axis=1)
+
     def bulk_add(self, keys) -> None:
         """Vectorized insert of a NumPy integer array.
 
@@ -219,6 +242,18 @@ class ScalableBloomFilter:
         )
 
     __contains__ = might_contain
+
+    def might_contain_many(self, keys):
+        """Vectorized :meth:`might_contain`: OR of every stage's batch test."""
+        import numpy as np
+
+        from repro.core.hashing import keys_to_int_array
+
+        keys = keys_to_int_array(keys)
+        result = np.zeros(len(keys), dtype=bool)
+        for stage in reversed(self._stages):
+            result |= stage.might_contain_many(keys)
+        return result
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,288 @@
+"""The vectorized batch-probe engine and the delete-path regressions.
+
+The engine's contract: ``search_many(keys)`` produces exactly what N
+sequential ``search`` calls produce — the same per-key ``SearchResult``
+(found / matches / tids / page counts), the same ``IOStats`` counters and
+the same simulated clock charges (equal up to float summation order).
+The property tests here drive that contract over random relations,
+probe mixes and tombstones; the regression tests pin the two delete-path
+bugs the batch path must not inherit (tombstone-then-split and
+delete-then-reinsert through the bulk-load path).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BPlusTree
+from repro.core import BFTree, BFTreeConfig, BloomFilter
+from repro.harness import run_probes
+from repro.storage import Relation, build_stack
+from repro.workloads import point_probes
+
+sorted_keys = st.lists(
+    st.integers(min_value=0, max_value=10**5), min_size=1, max_size=300
+).map(sorted)
+
+
+def _relation_from(keys):
+    return Relation({"k": np.asarray(keys, dtype=np.int64)}, tuple_size=256)
+
+
+def _replay(tree, keys, batch):
+    """Probe ``keys`` on a fresh stack; return (results, io, clock)."""
+    stack = build_stack("MEM/SSD")
+    tree.bind(stack)
+    try:
+        if batch:
+            results = tree.search_many(keys)
+        else:
+            results = [tree.search(key) for key in keys]
+    finally:
+        tree.unbind()
+    return results, stack.stats.snapshot(), stack.clock.now()
+
+
+def _assert_batch_equals_scalar(tree, probe_keys):
+    scalar, io_scalar, clock_scalar = _replay(tree, probe_keys, batch=False)
+    batch, io_batch, clock_batch = _replay(tree, probe_keys, batch=True)
+    assert batch == scalar            # SearchResult dataclass equality:
+    assert io_batch == io_scalar      # found, matches, pages, tids ...
+    assert math.isclose(clock_batch, clock_scalar, rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Bloom filter / BF-leaf layers
+# ----------------------------------------------------------------------
+class TestBatchFilterLayers:
+    @given(
+        keys=st.lists(st.integers(min_value=-(2**62), max_value=2**62),
+                      min_size=1, max_size=80, unique=True),
+        probes=st.lists(st.integers(min_value=-(2**62), max_value=2**62),
+                        min_size=1, max_size=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_might_contain_many_equals_scalar(self, keys, probes):
+        bf = BloomFilter(512, 5, seed=11)
+        for key in keys:
+            bf.add(key)
+        batch = bf.might_contain_many(np.asarray(probes, dtype=np.int64))
+        assert batch.tolist() == [bf.might_contain(p) for p in probes]
+
+    def test_might_contain_many_mixed_width_keys(self):
+        """A python list mixing signs and >int64 magnitudes must not be
+        coerced to float64 (which would hash rounded values and produce
+        false negatives the scalar path never produces)."""
+        bf = BloomFilter(512, 5, seed=3)
+        keys = [2**63 + 1, -1, 2**64 + 17, 0, "abc"]
+        for key in keys:
+            bf.add(key)
+        assert bf.might_contain_many(keys).all()
+        assert (bf.might_contain_many([2**63 + 2, -2]).tolist()
+                == [bf.might_contain(2**63 + 2), bf.might_contain(-2)])
+
+    def test_variant_filters_batch_equals_scalar(self):
+        from repro.core import CountingBloomFilter, ScalableBloomFilter
+
+        probes = list(range(200))
+        counting = CountingBloomFilter(512, 5, seed=7)
+        scalable = ScalableBloomFilter(initial_capacity=16, max_fpp=0.05)
+        for key in range(0, 120, 3):
+            counting.add(key)
+            scalable.add(key)
+        counting.remove(30)
+        for f in (counting, scalable):
+            assert (f.might_contain_many(probes).tolist()
+                    == [f.might_contain(p) for p in probes])
+
+    @given(keys=sorted_keys)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_leaf_batch_probing_equals_scalar(self, keys):
+        rel = _relation_from(keys)
+        tree = BFTree.bulk_load(rel, "k", BFTreeConfig(fpp=0.05))
+        probes = sorted(set(keys))[:30] + [max(keys) + 1, min(keys) + 1]
+        for leaf in tree.leaves_in_order():
+            groups = leaf.matching_groups_many(probes)
+            runs = leaf.matching_page_runs_many(probes)
+            for j, probe in enumerate(probes):
+                assert groups[j] == leaf.matching_groups(probe)
+                assert runs[j] == leaf.matching_page_runs(probe)
+
+
+# ----------------------------------------------------------------------
+# BF-Tree / harness layers
+# ----------------------------------------------------------------------
+class TestSearchManyEqualsSearch:
+    @given(keys=sorted_keys, fpp=st.sampled_from([0.2, 0.01, 1e-4]))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_results_io_and_clock(self, keys, fpp):
+        rel = _relation_from(keys)
+        tree = BFTree.bulk_load(rel, "k", BFTreeConfig(fpp=fpp))
+        probes = (sorted(set(keys))[:40]
+                  + [min(keys) - 1, max(keys) + 1, max(keys) + 1000])
+        _assert_batch_equals_scalar(tree, probes)
+
+    @given(keys=sorted_keys)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_with_tombstones(self, keys):
+        rel = _relation_from(keys)
+        tree = BFTree.bulk_load(rel, "k", BFTreeConfig(fpp=0.01))
+        distinct = sorted(set(keys))
+        for key in distinct[::2]:
+            tree.delete(key)
+        _assert_batch_equals_scalar(tree, distinct + [max(keys) + 1])
+
+    def test_unique_index_with_misses(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=2e-3), unique=True
+        )
+        probes = point_probes(pk_relation, "pk", 400, hit_rate=0.7)
+        _assert_batch_equals_scalar(tree, [k.item() for k in probes.keys])
+
+    def test_partitioned_data(self, tpch_relation):
+        tree = BFTree.bulk_load(
+            tpch_relation, "commitdate", BFTreeConfig(fpp=0.01), ordered=False
+        )
+        probes = point_probes(tpch_relation, "commitdate", 200, hit_rate=0.5)
+        _assert_batch_equals_scalar(tree, [k.item() for k in probes.keys])
+
+    def test_counting_filter_kind(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk",
+            BFTreeConfig(fpp=0.01, filter_kind="counting"), unique=True,
+        )
+        _assert_batch_equals_scalar(tree, list(range(0, 1000, 7)))
+
+    def test_bptree_search_many_parity(self, dup_relation):
+        tree = BPlusTree.bulk_load(dup_relation, "att1")
+        probes = point_probes(dup_relation, "att1", 150, hit_rate=0.8)
+        _assert_batch_equals_scalar(tree, [k.item() for k in probes.keys])
+
+    def test_run_probes_batch_mode_matches(self, pk_relation):
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=2e-3), unique=True
+        )
+        probes = point_probes(pk_relation, "pk", 300, hit_rate=0.9)
+        scalar = run_probes(tree, probes, "MEM/SSD")
+        batch = run_probes(tree, probes, "MEM/SSD", batch=True)
+        assert batch.n_probes == scalar.n_probes
+        assert batch.hits == scalar.hits
+        assert batch.total_matches == scalar.total_matches
+        assert batch.io == scalar.io
+        assert batch.avg_latency == pytest.approx(scalar.avg_latency,
+                                                  rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Delete-path regressions
+# ----------------------------------------------------------------------
+class TestDeletePathRegressions:
+    def _tree(self, n=4096, fpp=0.01):
+        rel = Relation(
+            {"pk": np.arange(n, dtype=np.int64)}, tuple_size=256
+        )
+        return rel, BFTree.bulk_load(
+            rel, "pk", BFTreeConfig(fpp=fpp), unique=True
+        )
+
+    @pytest.mark.parametrize("dead_side", ["lower", "upper"])
+    def test_tombstone_then_split_then_insert(self, dead_side):
+        """Splitting a half-tombstoned leaf must not create an
+        unroutable empty-side leaf (the min_key=None crash: routing a
+        subsequent insert against it raised TypeError, or ValueError
+        once the add landed below the surviving leaf's page range)."""
+        rel, tree = self._tree()
+        leaf = tree.leaves_in_order()[0]
+        lo, hi = leaf.min_key, leaf.max_key
+        mid = (lo + hi) // 2
+        dead = range(lo, mid) if dead_side == "lower" else range(mid, hi + 1)
+        for key in dead:                    # tombstone one whole side
+            tree.delete(key)
+        left, right = tree._split_leaf(leaf)
+        assert left.min_key is not None and right.min_key is not None
+        # Re-insert a tombstoned key at its original data page: the
+        # insert must route to a leaf whose page range covers it.
+        victim = lo + 1 if dead_side == "lower" else hi - 1
+        tree.insert(victim, rel.page_of(victim))
+        target = next(l for l in tree.leaves_in_order()
+                      if l.covers_key(victim))
+        assert target.covers_pid(rel.page_of(victim))
+        assert tree.search(victim).found
+
+    def test_split_point_ignores_tombstones(self):
+        """The split separator is the median of the *live* keys."""
+        rel, tree = self._tree()
+        leaf = tree.leaves_in_order()[0]
+        lo, hi = leaf.min_key, leaf.max_key
+        mid = (lo + hi) // 2
+        for key in range(lo, mid):
+            tree.delete(key)
+        left, right = tree._split_leaf(leaf)
+        # Both sides hold live keys from the surviving (upper) half.
+        assert mid <= left.min_key <= left.max_key < right.min_key
+        assert right.max_key == hi
+
+    def test_split_with_fewer_than_two_live_keys_raises(self):
+        rel, tree = self._tree()
+        leaf = tree.leaves_in_order()[0]
+        for key in range(leaf.min_key + 1, leaf.max_key + 1):
+            tree.delete(key)                # one live key left
+        with pytest.raises(ValueError):
+            tree._split_leaf(leaf)
+
+    def test_add_page_keys_clears_tombstone(self):
+        """Bulk re-insertion must un-tombstone keys, like scalar add."""
+        rel, tree = self._tree()
+        leaf = tree.leaves_in_order()[0]
+        key = leaf.min_key + 3
+        leaf.mark_deleted(key)
+        assert leaf.matching_groups(key) == []
+        leaf.add_page_keys(
+            np.asarray([key], dtype=np.int64), rel.page_of(key)
+        )
+        assert key not in leaf.deleted_keys
+        assert leaf.matching_groups(key)
+        assert tree.search(key).found
+
+    def test_delete_then_reinsert_via_insert(self):
+        rel, tree = self._tree()
+        assert tree.delete(77)
+        assert not tree.search(77).found
+        tree.insert(77, rel.page_of(77))
+        assert tree.search(77).found
+
+
+# ----------------------------------------------------------------------
+# Fetch accounting (Eq. 13)
+# ----------------------------------------------------------------------
+class TestFetchRunAccounting:
+    def test_disjoint_runs_pay_one_seek_each(self, pk_relation):
+        """Every fetched run starts with a random positioning; only
+        pages within a run ride sequentially (Device.read_run)."""
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=0.2), unique=False
+        )
+        stack = build_stack("MEM/SSD")
+        tree.bind(stack)
+        try:
+            for key in range(0, 2048, 41):
+                before = stack.stats.snapshot()
+                tree.search(key)
+                io = stack.stats.diff(before)
+                leaf = next(l for l in tree.leaves_in_order()
+                            if l.covers_key(key))
+                runs = leaf.matching_page_runs(key)
+                # search() fetches the sorted runs until the ordered-data
+                # early stop; each *started* run costs one random read.
+                assert io.data_random_reads <= len(runs)
+                assert io.data_random_reads >= 1
+                expected_pages = io.data_random_reads + io.data_seq_reads
+                assert expected_pages == io.data_reads
+        finally:
+            tree.unbind()

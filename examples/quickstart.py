@@ -15,6 +15,10 @@ Walks through the library's core loop:
 Run with::
 
     python examples/quickstart.py
+
+See the root README.md for install instructions, the package-layout map
+(core/storage/workloads/harness/service) and the sharded-service
+quickstart (``repro serve-bench`` / ``run_service``).
 """
 
 from repro import BFTree, BFTreeConfig, build_stack

@@ -12,6 +12,7 @@ Top-level re-exports cover the public API a downstream user needs:
 """
 
 from repro.core import BFTree, BFTreeConfig, BloomFilter
+from repro.service import Router, ShardedIndex
 from repro.storage import (
     FIVE_CONFIGS,
     PAGE_SIZE,
@@ -27,6 +28,8 @@ __all__ = [
     "BFTree",
     "BFTreeConfig",
     "BloomFilter",
+    "Router",
+    "ShardedIndex",
     "FIVE_CONFIGS",
     "PAGE_SIZE",
     "Relation",

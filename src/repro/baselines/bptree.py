@@ -156,6 +156,39 @@ class BPlusTree:
         tree.inner.build(separators, tree._leaf_order)
         return tree
 
+    @classmethod
+    def from_leaves(
+        cls,
+        relation: Relation,
+        key_column: str,
+        leaves: list[BPLeaf],
+        config: BPlusTreeConfig | None = None,
+        unique: bool = False,
+    ) -> "BPlusTree":
+        """Build a tree over an existing contiguous run of B+-leaves.
+
+        Shard-safe construction (same contract as
+        :meth:`repro.core.bf_tree.BFTree.from_leaves`): takes ownership
+        of the leaf objects, reallocates their node ids from this tree's
+        store, relinks the chain and severs it at the run's ends, then
+        builds a fresh directory.  The donor tree must be discarded.
+        """
+        if not leaves:
+            raise ValueError("from_leaves needs at least one leaf")
+        tree = cls(relation, key_column, config, unique)
+        for leaf in leaves:
+            leaf.node_id = tree.store.allocate()
+            tree.leaves[leaf.node_id] = leaf
+        for prev, nxt in zip(leaves, leaves[1:]):
+            prev.next_leaf_id = nxt.node_id
+            nxt.prev_leaf_id = prev.node_id
+        leaves[0].prev_leaf_id = None
+        leaves[-1].next_leaf_id = None
+        tree._leaf_order = [leaf.node_id for leaf in leaves]
+        separators = [leaf.keys[0] for leaf in leaves[1:]]
+        tree.inner.build(separators, tree._leaf_order)
+        return tree
+
     def _new_leaf(self) -> BPLeaf:
         leaf = BPLeaf(node_id=self.store.allocate())
         self.leaves[leaf.node_id] = leaf
@@ -224,18 +257,32 @@ class BPlusTree:
                 break
         return self._fetch_tids(key, sorted(tids))
 
-    def search_many(self, keys) -> list[SearchResult]:
+    def search_many(self, keys,
+                    latency_sink: list[float] | None = None
+                    ) -> list[SearchResult]:
         """Batch counterpart of :meth:`search` (same protocol as BF-Tree).
 
         The exact index has no per-filter fan-out to vectorize — a probe
         is one descent, one binary search and the rid fetch — so this is
         the per-key loop with the same I/O charging, kept so harness
         sweeps (``run_probes(..., batch=True)``) stay apples-to-apples
-        when comparing against ``BFTree.search_many``.
+        when comparing against ``BFTree.search_many``.  ``latency_sink``
+        receives one simulated per-key latency per probe, as BF-Tree's
+        batch path does.
         """
-        return [
-            self.search(k.item() if hasattr(k, "item") else k) for k in keys
-        ]
+        clock = (
+            self.store.device.clock if self.store.device is not None else None
+        )
+        track = latency_sink is not None and clock is not None
+        results = []
+        for k in keys:
+            start = clock.now() if track else 0.0
+            results.append(self.search(k.item() if hasattr(k, "item") else k))
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in results)
+        return results
 
     def _descend_and_read(self, key) -> BPLeaf | None:
         try:

@@ -2,20 +2,25 @@
 
 Subcommands::
 
-    python -m repro sizes   --workload synthetic --column pk
-    python -m repro probe   --index bf --fpp 1e-3 --config MEM/SSD
-    python -m repro probe   --index bf --batch --probes 10000
-    python -m repro sweep   --column pk --probes 200
-    python -m repro model   --fpp 1e-3
+    python -m repro sizes       --workload synthetic --column pk
+    python -m repro probe       --index bf --fpp 1e-3 --config MEM/SSD
+    python -m repro probe       --index bf --batch --probes 10000
+    python -m repro sweep       --column pk --probes 200
+    python -m repro model       --fpp 1e-3
     python -m repro workloads
+    python -m repro serve-bench --shards 1 2 4 8 --mix read_heavy --skew zipfian
 
 Every command prints the same tables the benchmark harness produces, so
-results are scriptable without pytest.
+results are scriptable without pytest.  A single ``--seed`` flag seeds
+every random stream (relation data, probe keys, service traces) through
+:func:`repro.workloads.derive_seed`, making a full run reproducible
+from one knob; without it each stream keeps its historical default.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -31,17 +36,36 @@ from repro.harness import (
     break_even_table,
     format_table,
     run_probes,
+    run_service,
     sweep_bf_tree,
     us,
 )
 from repro.model import FIGURE4_PARAMS, compare_at, summarize
+from repro.service import ShardedIndex
 from repro.storage import CONFIGS_BY_NAME, FIVE_CONFIGS
-from repro.workloads import point_probes, shd, synthetic, tpch
+from repro.workloads import (
+    MIXES,
+    derive_seed,
+    generate_trace,
+    point_probes,
+    shd,
+    synthetic,
+    tpch,
+)
+
+def _seeded(module) -> Callable:
+    """Relation factory honouring the master seed: ``seed=None`` omits
+    the kwarg so each generator keeps its historical default (42/7/99)
+    and runs without --seed reproduce all previously published numbers."""
+    return lambda n, seed: (
+        module.generate(n) if seed is None else module.generate(n, seed=seed)
+    )
+
 
 WORKLOADS: dict[str, Callable] = {
-    "synthetic": lambda n: synthetic.generate(n),
-    "tpch": lambda n: tpch.generate(n),
-    "shd": lambda n: shd.generate(n),
+    "synthetic": _seeded(synthetic),
+    "tpch": _seeded(tpch),
+    "shd": _seeded(shd),
 }
 
 DEFAULT_COLUMNS = {"synthetic": "pk", "tpch": "shipdate", "shd": "timestamp"}
@@ -54,7 +78,10 @@ def _build_relation(args: argparse.Namespace):
         raise SystemExit(
             f"unknown workload {args.workload!r}; pick from {sorted(WORKLOADS)}"
         )
-    relation = factory(args.tuples)
+    master = getattr(args, "seed", None)
+    relation = factory(
+        args.tuples, None if master is None else derive_seed(master, "relation")
+    )
     column = args.column or DEFAULT_COLUMNS[args.workload]
     if column not in relation.columns:
         raise SystemExit(
@@ -112,7 +139,8 @@ def cmd_probe(args: argparse.Namespace) -> int:
     unique = column == "pk"
     index = _build_index(args.index, relation, column, args.fpp[0], unique)
     probes = point_probes(relation, column, args.probes,
-                          hit_rate=args.hit_rate)
+                          hit_rate=args.hit_rate,
+                          seed=derive_seed(args.seed, "probes"))
     configs = (
         [CONFIGS_BY_NAME[args.config]] if args.config else list(FIVE_CONFIGS)
     )
@@ -145,7 +173,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     relation, column = _build_relation(args)
     unique = column == "pk"
     probes = point_probes(relation, column, args.probes,
-                          hit_rate=args.hit_rate)
+                          hit_rate=args.hit_rate,
+                          seed=derive_seed(args.seed, "probes"))
     sweep = sweep_bf_tree(relation, column, probes, fpps=args.fpp,
                           unique=unique, warm=args.warm)
     rows = []
@@ -196,10 +225,57 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Throughput and tail latency of the sharded service vs shard count."""
+    relation, column = _build_relation(args)
+    unique = column == "pk"
+    trace = generate_trace(
+        relation, column, mix=args.mix, n_ops=args.ops, skew=args.skew,
+        theta=args.theta, seed=derive_seed(args.seed, "trace"),
+        hit_rate=args.hit_rate,
+    )
+    config = args.config or "MEM/SSD"
+    rows = []
+    reports = []
+    for n_shards in args.shards:
+        service = ShardedIndex.build(
+            relation, column, n_shards=n_shards, kind=args.index,
+            config=BFTreeConfig(fpp=args.fpp[0]) if args.index == "bf"
+            else None,
+            unique=unique,
+        )
+        report = run_service(
+            service, trace, config, warm=args.warm,
+            batch=not args.no_batch, threads=args.threads,
+        )
+        reports.append(report)
+        reads = report.latency("read")
+        rows.append([
+            str(report.n_shards),
+            f"{us(reads.p50):.1f}",
+            f"{us(reads.p95):.1f}",
+            f"{us(reads.p99):.1f}",
+            f"{report.stats.throughput():,.0f}",
+            f"{report.stats.wall_throughput():,.0f}",
+            f"{report.stats.load_balance:.2f}",
+        ])
+    print(format_table(
+        ["shards", "read p50 (us)", "p95 (us)", "p99 (us)",
+         "ops/sim-sec", "ops/wall-sec", "load bal"],
+        rows,
+        title=f"serve-bench: {args.index} on {args.workload}.{column}, "
+              f"mix={args.mix}, skew={args.skew}, {args.ops} ops, "
+              f"config={config}",
+    ))
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     rows = []
     for name, factory in WORKLOADS.items():
-        relation = factory(args.tuples)
+        relation = factory(args.tuples, None)
         column = DEFAULT_COLUMNS[name]
         values = relation.columns[column]
         import numpy as np
@@ -231,6 +307,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fpp", type=float, nargs="+",
                         default=[0.2, 0.02, 2e-3, 2e-4, 2e-6],
                         help="false-positive probabilities")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed for every random stream "
+                             "(relation data, probe keys, traces); "
+                             "omit to keep each stream's historical "
+                             "default")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +352,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_model = sub.add_parser("model", help="Section 5 analytical model")
     p_model.add_argument("--fpp", type=float, nargs="+", default=[1e-3])
     p_model.set_defaults(func=cmd_model)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="sharded service: throughput + tail latency vs shard count",
+    )
+    _add_common(p_serve)
+    p_serve.add_argument("--index", default="bf", choices=["bf", "bplus"])
+    p_serve.add_argument("--shards", type=int, nargs="+",
+                         default=[1, 2, 4, 8],
+                         help="shard counts to measure")
+    p_serve.add_argument("--mix", default="read_heavy",
+                         choices=sorted(MIXES),
+                         help="YCSB-style operation mix")
+    p_serve.add_argument("--skew", default="zipfian",
+                         choices=["zipfian", "uniform"],
+                         help="key popularity distribution")
+    p_serve.add_argument("--theta", type=float, default=0.99,
+                         help="Zipfian skew parameter (0, 1)")
+    p_serve.add_argument("--ops", type=int, default=2000,
+                         help="operations per trace")
+    p_serve.add_argument("--hit-rate", type=float, default=1.0)
+    p_serve.add_argument("--config", default=None,
+                         choices=sorted(CONFIGS_BY_NAME),
+                         help="storage config (default MEM/SSD)")
+    p_serve.add_argument("--warm", action="store_true")
+    p_serve.add_argument("--no-batch", action="store_true",
+                         help="disable the vectorized batch-probe engine "
+                              "(per-op dispatch; same simulated results)")
+    p_serve.add_argument("--threads", type=int, default=None,
+                         help="replay shards on a thread pool of this size")
+    p_serve.add_argument("--json", action="store_true",
+                         help="also print the full reports as JSON")
+    # The sweep grid's 0.2 head would drown the service in false reads;
+    # serve at the paper's accurate end instead.
+    p_serve.set_defaults(func=cmd_serve_bench, fpp=[1e-3])
 
     p_wl = sub.add_parser("workloads", help="workload generator statistics")
     p_wl.add_argument("--tuples", type=int, default=32768)

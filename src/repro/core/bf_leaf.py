@@ -146,6 +146,16 @@ class BFLeaf:
     #: page ranges overlap; we record the overlap here so a probe for
     #: ``min_key`` also fetches the preceding pages.
     spill_back_pages: int = 0
+    #: Hash seed shared by every filter of this leaf.  ``None`` (the
+    #: bulk-load default) means "use the node id at filter creation";
+    #: it is pinned explicitly when the leaf changes owner (sharding
+    #: reallocates node ids) or is created by a split (which derives a
+    #: *structural* seed from the covered pages), so that filter bit
+    #: patterns — and therefore false positives — do not depend on the
+    #: allocation order of whichever tree happens to hold the leaf.
+    #: All filters of one leaf must share one seed: the vectorized
+    #: probe path hashes each key batch once per leaf.
+    filter_seed: int | None = None
 
     # ------------------------------------------------------------------
     # geometry
@@ -249,19 +259,20 @@ class BFLeaf:
 
     def _new_filter(self):
         """Instantiate one membership filter per the leaf's geometry."""
+        seed = self.node_id if self.filter_seed is None else self.filter_seed
         if self.geometry.filter_kind == "counting":
             from repro.core.variants import CountingBloomFilter
 
             return CountingBloomFilter(
                 nbits=self.geometry.bits_per_bf,
                 k=self.geometry.hash_count,
-                seed=self.node_id,
+                seed=seed,
                 counter_bits=self.geometry.counter_bits,
             )
         return BloomFilter(
             nbits=self.geometry.bits_per_bf,
             k=self.geometry.hash_count,
-            seed=self.node_id,
+            seed=seed,
         )
 
     def mark_deleted(self, key) -> None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -197,6 +198,62 @@ class BFTree:
         tree._avg_cardinality = len(keys) / max(1, len(np.unique(keys)))
         tree.geometry = tree._plan_geometry(keys if ordered else None)
         tree._build_leaves(keys)
+        tree._build_directory()
+        return tree
+
+    @classmethod
+    def from_leaves(
+        cls,
+        relation: Relation,
+        key_column: str,
+        leaves: Sequence[BFLeaf],
+        config: BFTreeConfig | None = None,
+        unique: bool = False,
+        ordered: bool = True,
+        geometry: BFLeafGeometry | None = None,
+        avg_cardinality: float = 1.0,
+    ) -> "BFTree":
+        """Build a tree over an existing contiguous run of BF-leaves.
+
+        This is the shard-safe construction path: a sharded service
+        slices one bulk-loaded tree's leaf chain into contiguous runs
+        and rebuilds an independent directory over each run, so every
+        shard probes *exactly* the filters the unsharded tree would —
+        identical Bloom bit patterns, identical false positives,
+        identical data-page runs.  The method takes **ownership** of the
+        leaf objects (node ids are reallocated from this tree's store
+        and chain pointers are relinked and severed at the run's ends),
+        so the donor tree must be discarded afterwards.
+
+        ``geometry`` and ``avg_cardinality`` should be copied from the
+        donor so size accounting and any later splits keep the donor's
+        filter sizing.
+        """
+        if not leaves:
+            raise ValueError("from_leaves needs at least one leaf")
+        tree = cls(relation, key_column, config, unique, ordered=ordered)
+        tree._avg_cardinality = avg_cardinality
+        tree.geometry = (
+            BFLeafGeometry(**vars(geometry)) if geometry is not None
+            else BFLeafGeometry(**vars(leaves[0].geometry))
+        )
+        for leaf in leaves:
+            # Pin the filter hash seed before the node id changes hands:
+            # existing filters carry the donor's seed, and any filter the
+            # leaf grows later must hash identically (the vectorized
+            # probe path hashes each key batch once per leaf).
+            if leaf.filter_seed is None:
+                leaf.filter_seed = (
+                    leaf.filters[0].seed if leaf.filters else leaf.node_id
+                )
+            leaf.node_id = tree.store.allocate()
+            tree.leaves[leaf.node_id] = leaf
+        for prev, nxt in zip(leaves, leaves[1:]):
+            prev.next_leaf_id = nxt.node_id
+            nxt.prev_leaf_id = prev.node_id
+        leaves[0].prev_leaf_id = None
+        leaves[-1].next_leaf_id = None
+        tree._leaf_order = [leaf.node_id for leaf in leaves]
         tree._build_directory()
         return tree
 
@@ -397,12 +454,14 @@ class BFTree:
             )
             leaf.add(key, pid)
 
-    def _new_leaf(self, min_pid: int) -> BFLeaf:
+    def _new_leaf(self, min_pid: int,
+                  filter_seed: int | None = None) -> BFLeaf:
         assert self.geometry is not None
         leaf = BFLeaf(
             node_id=self.store.allocate(),
             geometry=BFLeafGeometry(**vars(self.geometry)),
             min_pid=min_pid,
+            filter_seed=filter_seed,
         )
         self.leaves[leaf.node_id] = leaf
         return leaf
@@ -500,7 +559,9 @@ class BFTree:
             return SearchResult(found=False)
         return self._fetch_runs(key, sorted(runs))
 
-    def search_many(self, keys) -> list[SearchResult]:
+    def search_many(self, keys,
+                    latency_sink: list[float] | None = None
+                    ) -> list[SearchResult]:
         """Vectorized Algorithm 1 over a whole batch of probe keys.
 
         Returns exactly ``[self.search(k) for k in keys]`` — the same
@@ -514,18 +575,32 @@ class BFTree:
         leaf hashes and tests its whole key group at once via
         :meth:`BFLeaf.matching_page_runs_many`.  Descents, leaf reads and
         data-page fetches are charged per key just as ``search`` does.
+
+        ``latency_sink``, if given, receives one simulated per-key
+        latency per probe (aligned with ``keys``): every clock charge on
+        the batch path happens inside the per-key routing loop (phase 1)
+        or the per-key fetch loop (phase 3) — the vectorized filter pass
+        charges nothing — so bracketing those two loop bodies recovers
+        exactly the latency the scalar ``search`` would report.  The
+        service layer's tail-latency percentiles are computed from this.
         """
         keys = [k.item() if hasattr(k, "item") else k for k in keys]
         results: list[SearchResult | None] = [None] * len(keys)
         stats = self._stats()
+        clock = self._clock()
+        track = latency_sink is not None and clock is not None
+        latencies = [0.0] * len(keys)
         # Phase 1: route every key, charging descent and candidate-leaf
         # I/O and the per-filter probe CPU exactly like the scalar path.
         pending: list[tuple[int, object, list[BFLeaf]]] = []
         by_leaf: dict[int, list[tuple[int, object]]] = {}
         for i, key in enumerate(keys):
+            start = clock.now() if track else 0.0
             leaf = self._descend_and_read(key)
             if leaf is None:
                 results[i] = SearchResult(found=False)
+                if track:
+                    latencies[i] = clock.now() - start
                 continue
             candidates = [
                 c for c in self._candidate_leaves(key, leaf)
@@ -533,6 +608,8 @@ class BFTree:
             ]
             if not candidates:
                 results[i] = SearchResult(found=False)
+                if track:
+                    latencies[i] = clock.now() - start
                 continue
             for candidate in candidates:
                 if stats is not None:
@@ -540,6 +617,8 @@ class BFTree:
                 self._charge_cpu(candidate.nfilters * CPU_BLOOM_PROBE)
                 by_leaf.setdefault(candidate.node_id, []).append((i, key))
             pending.append((i, key, candidates))
+            if track:
+                latencies[i] = clock.now() - start
         # Phase 2: one vectorized filter pass per touched leaf.
         runs_for: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for leaf_id, probe_group in by_leaf.items():
@@ -555,7 +634,12 @@ class BFTree:
             runs: list[tuple[int, int]] = []
             for candidate in candidates:
                 runs.extend(runs_for[(i, candidate.node_id)])
+            start = clock.now() if track else 0.0
             results[i] = self._fetch_runs(key, sorted(runs))
+            if track:
+                latencies[i] += clock.now() - start
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
         return results
 
     def _candidate_leaves(self, key, leaf: BFLeaf) -> list[BFLeaf]:
@@ -770,8 +854,16 @@ class BFTree:
                 "cannot split a leaf holding fewer than two live keys"
             )
         mid = distinct[len(distinct) // 2]
-        left = self._new_leaf(min_pid=min(p for k, p in pairs if k < mid))
-        right = self._new_leaf(min_pid=min(p for k, p in pairs if k >= mid))
+        left_pid = min(p for k, p in pairs if k < mid)
+        right_pid = min(p for k, p in pairs if k >= mid)
+        # Structural filter seeds: a split's children hash with seeds
+        # derived from their covered pages (plus a side bit for the rare
+        # straddling-page split), not from freshly allocated node ids —
+        # so a shard replaying the same inserts rebuilds bit-identical
+        # filters even though its store allocates different ids.
+        left = self._new_leaf(min_pid=left_pid, filter_seed=left_pid << 1)
+        right = self._new_leaf(min_pid=right_pid,
+                               filter_seed=(right_pid << 1) | 1)
         for key, pid in live:
             target = right if key >= mid else left
             self._leaf_add_unchecked(target, key, pid)

@@ -8,9 +8,11 @@ from repro.harness.breakeven import (
 from repro.harness.experiment import (
     DEFAULT_FPP_GRID,
     ProbeStats,
+    ServiceReport,
     SweepPoint,
     SweepResult,
     run_probes,
+    run_service,
     sweep_bf_tree,
 )
 from repro.harness.results import format_series, format_table, ms, print_table, us
@@ -21,9 +23,11 @@ __all__ = [
     "break_even_table",
     "DEFAULT_FPP_GRID",
     "ProbeStats",
+    "ServiceReport",
     "SweepPoint",
     "SweepResult",
     "run_probes",
+    "run_service",
     "sweep_bf_tree",
     "format_series",
     "format_table",

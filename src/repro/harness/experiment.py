@@ -18,9 +18,13 @@ import numpy as np
 
 from repro.baselines.bptree import BPlusTree
 from repro.core.bf_tree import BFTree, BFTreeConfig
+from repro.service.router import Router
+from repro.service.sharded import ShardedIndex
+from repro.service.stats import LatencySummary, ServiceStats
 from repro.storage.config import FIVE_CONFIGS, StorageConfig, build_stack
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
+from repro.workloads.mixed import MixedTrace
 from repro.workloads.queries import ProbeSet
 
 
@@ -220,3 +224,76 @@ def sweep_bf_tree(
 
 DEFAULT_FPP_GRID = (0.2, 0.1, 0.02, 2e-3, 2e-4, 2e-6, 1e-8, 1e-12, 1e-15)
 """The fpp sweep of the paper's Figures 5 and 8 (0.2 down to 1e-15)."""
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of replaying one mixed trace through a sharded service."""
+
+    n_ops: int
+    n_shards: int
+    config: str
+    mix: str
+    skew: str
+    batch: bool
+    threads: int | None
+    stats: ServiceStats
+    results: list = field(repr=False, default_factory=list)
+
+    @property
+    def io(self) -> IOStats:
+        return self.stats.io
+
+    def latency(self, op: str | None = None) -> LatencySummary:
+        return self.stats.latency_summary(op)
+
+    def to_dict(self) -> dict:
+        """JSON-able report (the serve-bench / scaling-benchmark payload)."""
+        return {
+            "config": self.config,
+            "mix": self.mix,
+            "skew": self.skew,
+            "batch": self.batch,
+            "threads": self.threads,
+            **self.stats.to_dict(),
+        }
+
+
+def run_service(
+    service: ShardedIndex,
+    trace: MixedTrace,
+    config: StorageConfig | str,
+    warm: bool = False,
+    batch: bool = True,
+    batch_size: int = 512,
+    threads: int | None = None,
+) -> ServiceReport:
+    """Replay a mixed workload trace through a sharded index service.
+
+    Binds every shard to a fresh storage stack of ``config``, routes the
+    trace through a :class:`~repro.service.router.Router` (reads batched
+    through the vectorized probe engine unless ``batch=False``;
+    ``threads`` enables concurrent shard replay), and returns a
+    :class:`ServiceReport` whose :class:`ServiceStats` carries merged
+    IOStats, per-op latency percentiles, simulated makespan throughput
+    (shards progress in parallel, so the service finishes with its
+    slowest shard) and replay wall time.
+    """
+    service.bind(config, warm=warm)
+    try:
+        router = Router(service, batch=batch, batch_size=batch_size,
+                        threads=threads)
+        results, stats = router.replay(trace)
+    finally:
+        service.unbind()
+    return ServiceReport(
+        n_ops=len(trace),
+        n_shards=service.n_shards,
+        config=config if isinstance(config, str) else config.name,
+        mix=trace.mix.name,
+        skew=trace.skew,
+        batch=batch,
+        threads=threads,
+        stats=stats,
+        results=results,
+    )

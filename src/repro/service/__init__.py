@@ -1,0 +1,22 @@
+"""Sharded index service: partitioned serving layer over the BF-Tree.
+
+The production-facing subsystem: a :class:`ShardedIndex` range-partitions
+one indexed column across N independent shards (each with its own
+device/clock/buffer-pool stack), a :class:`Router` splits mixed
+read/insert/scan batches per shard and dispatches them through the
+vectorized batch-probe engine (optionally on a thread pool), and
+:class:`ServiceStats` merges per-shard IOStats and folds per-op
+simulated latencies into p50/p95/p99 summaries.
+"""
+
+from repro.service.router import Router
+from repro.service.sharded import Shard, ShardedIndex
+from repro.service.stats import LatencySummary, ServiceStats
+
+__all__ = [
+    "Router",
+    "Shard",
+    "ShardedIndex",
+    "LatencySummary",
+    "ServiceStats",
+]

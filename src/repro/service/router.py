@@ -1,0 +1,210 @@
+"""Router: splits mixed-operation batches per shard and dispatches them.
+
+The router turns a :class:`~repro.workloads.mixed.MixedTrace` into
+per-shard work lists and replays them:
+
+* point reads are routed by key and **batched** — consecutive reads on
+  one shard flow through the shard's vectorized ``search_many`` (the
+  PR-1 batch-probe engine), with the per-op latency sink recovering the
+  exact scalar latencies for the percentile report;
+* inserts and scans are executed in place, clock-bracketed per op;
+* a scan whose window spans multiple shards is split into per-shard
+  legs (scatter-gather); its latency is the *sum* of its legs'
+  simulated time, and its result merges the legs' counts.
+
+Per-shard operation order always follows trace order, so a read issued
+after an insert to the same shard observes it.  Because every shard owns
+a private tree, stack and clock, shards share no mutable state — the
+optional thread pool (``threads=N``) replays shards concurrently for
+real wall-clock overlap (NumPy filter passes release the GIL; the pure
+-Python portions interleave), with results scattered back into trace
+order afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bf_tree import RangeScanResult, SearchResult
+from repro.service.sharded import ShardedIndex
+from repro.service.stats import ServiceStats
+from repro.workloads.mixed import OP_INSERT, OP_READ, OP_SCAN, MixedTrace
+
+
+@dataclass(frozen=True)
+class _SubOp:
+    """One shard-local unit of work derived from a trace operation."""
+
+    op_index: int
+    code: int
+    key: object
+    tid: int = -1
+    sub_lo: object = None
+    sub_hi: object = None
+
+
+class Router:
+    """Dispatches trace operations to the shards of a :class:`ShardedIndex`."""
+
+    def __init__(
+        self,
+        service: ShardedIndex,
+        batch: bool = True,
+        batch_size: int = 512,
+        threads: int | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be >= 1 (or None for serial)")
+        self.service = service
+        self.batch = batch
+        self.batch_size = batch_size
+        self.threads = threads
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, trace: MixedTrace) -> list[list[_SubOp]]:
+        """Split the trace into per-shard sub-op lists (trace order kept)."""
+        per_shard: list[list[_SubOp]] = [[] for _ in self.service.shards]
+        assign = self.service.route(trace.keys)
+        for i in range(len(trace)):
+            code = int(trace.ops[i])
+            key = trace.keys[i].item()
+            if code == OP_READ:
+                per_shard[assign[i]].append(_SubOp(i, code, key))
+            elif code == OP_INSERT:
+                per_shard[assign[i]].append(
+                    _SubOp(i, code, key, tid=int(trace.tids[i]))
+                )
+            else:  # OP_SCAN: one leg per overlapping shard
+                hi = key + int(trace.scan_widths[i]) - 1
+                for s, sub_lo, sub_hi in self.service.scan_plan(key, hi):
+                    per_shard[s].append(
+                        _SubOp(i, code, key, sub_lo=sub_lo, sub_hi=sub_hi)
+                    )
+        return per_shard
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self, trace: MixedTrace
+               ) -> tuple[list[object], ServiceStats]:
+        """Replay ``trace`` against the bound service.
+
+        Returns (per-op results aligned with the trace, ServiceStats).
+        Reads yield :class:`SearchResult`, scans a merged
+        :class:`RangeScanResult`, inserts ``None``.
+        """
+        if any(not shard.bound for shard in self.service.shards):
+            raise RuntimeError("service is not bound; call bind() first")
+        per_shard = self.plan(trace)
+        io_before = [
+            shard.stack.stats.snapshot() for shard in self.service.shards
+        ]
+        clock_before = [
+            shard.stack.clock.now() for shard in self.service.shards
+        ]
+        t0 = time.perf_counter()
+        if self.threads is not None and self.service.n_shards > 1:
+            with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                outcomes = list(
+                    pool.map(
+                        self._replay_shard,
+                        range(self.service.n_shards),
+                        per_shard,
+                    )
+                )
+        else:
+            outcomes = [
+                self._replay_shard(s, subops)
+                for s, subops in enumerate(per_shard)
+            ]
+        wall_secs = time.perf_counter() - t0
+
+        results: list[object] = [None] * len(trace)
+        latencies = np.zeros(len(trace), dtype=np.float64)
+        for shard_outcome in outcomes:
+            for op_index, code, latency, result in shard_outcome:
+                latencies[op_index] += latency
+                if code == OP_SCAN:
+                    merged = results[op_index]
+                    if merged is None:
+                        merged = RangeScanResult(
+                            matches=0, pages_read=0, leaves_visited=0
+                        )
+                        results[op_index] = merged
+                    merged.matches += result.matches
+                    merged.pages_read += result.pages_read
+                    merged.leaves_visited += result.leaves_visited
+                else:
+                    results[op_index] = result
+        stats = ServiceStats(
+            per_shard_io=[
+                shard.stack.stats.diff(before)
+                for shard, before in zip(self.service.shards, io_before)
+            ],
+            per_shard_clock=[
+                shard.stack.clock.now() - before
+                for shard, before in zip(self.service.shards, clock_before)
+            ],
+            op_codes=trace.ops,
+            op_latencies=latencies,
+            wall_secs=wall_secs,
+        )
+        return results, stats
+
+    # ------------------------------------------------------------------
+    def _replay_shard(
+        self, s: int, subops: list[_SubOp]
+    ) -> list[tuple[int, int, float, object]]:
+        """Run one shard's sub-ops in order; return (op_index, code,
+        latency, result) records (thread-confined, merged by replay)."""
+        shard = self.service.shards[s]
+        index = shard.index
+        clock = shard.stack.clock
+        out: list[tuple[int, int, float, object]] = []
+        read_buffer: list[_SubOp] = []
+
+        def flush_reads() -> None:
+            if not read_buffer:
+                return
+            for start in range(0, len(read_buffer), self.batch_size):
+                chunk = read_buffer[start : start + self.batch_size]
+                if self.batch:
+                    sink: list[float] = []
+                    chunk_results = index.search_many(
+                        [op.key for op in chunk], latency_sink=sink
+                    )
+                    for op, latency, result in zip(chunk, sink,
+                                                   chunk_results):
+                        out.append((op.op_index, op.code, latency, result))
+                else:
+                    for op in chunk:
+                        begin = clock.now()
+                        result = index.search(op.key)
+                        out.append(
+                            (op.op_index, op.code, clock.now() - begin,
+                             result)
+                        )
+            read_buffer.clear()
+
+        for op in subops:
+            if op.code == OP_READ:
+                read_buffer.append(op)
+                continue
+            flush_reads()
+            begin = clock.now()
+            if op.code == OP_INSERT:
+                self.service.insert_on(shard, op.key, op.tid)
+                result: object = None
+            else:
+                result = index.range_scan(op.sub_lo, op.sub_hi)
+            out.append((op.op_index, op.code, clock.now() - begin, result))
+        flush_reads()
+        return out

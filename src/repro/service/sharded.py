@@ -1,0 +1,334 @@
+"""ShardedIndex: one key space range-partitioned across N index shards.
+
+The serving layer's core data structure.  A :class:`ShardedIndex` holds N
+independent index shards (BF-Trees or the exact B+-Tree baseline), each
+owning a contiguous slice of the key space and — once bound — its *own*
+storage stack (device pair, simulated clock, optional buffer pool), so
+shards progress concurrently the way the partitions of a distributed
+index do.
+
+**Construction is equivalence-preserving.**  ``build`` bulk-loads one
+donor index over the whole relation, then slices its leaf chain into
+contiguous runs and rebuilds an independent directory over each run
+(:meth:`BFTree.from_leaves`).  Because the shards reuse the donor's leaf
+objects — the exact same Bloom bit patterns, key fences and page runs a
+single unsharded index would have — a point operation routed to its
+shard performs *bit-identical* work: the same ``SearchResult`` (global
+tuple ids included, since all shards share the one relation) and the
+same I/O charges, so the shards' IOStats counters **sum** to the
+unsharded index's counters exactly.  Two conditions guard this:
+
+* cuts never land on a key that spans the boundary (the slicer skips
+  spill-back leaves and duplicate fences), so no probe would need a
+  neighbour leaf across a shard border;
+* every shard keeps at least two leaves, so each shard directory has
+  the same height as the donor's (one root over the leaf level at any
+  scale where the donor's leaf count fits one root) and descents charge
+  the same index reads.  ``uniform_height`` records whether this held.
+
+Range scans are routed to every overlapping shard; a cross-shard scan
+pays one extra directory descent per additional shard — the real cost a
+scatter-gather scan pays in a sharded system — while its match count
+remains exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.bptree import BPlusTree, BPlusTreeConfig
+from repro.core.bf_tree import (
+    BFTree,
+    BFTreeConfig,
+    RangeScanResult,
+    SearchResult,
+)
+from repro.storage.config import StorageConfig, StorageStack, build_stack
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation
+
+KINDS = ("bf", "bplus")
+
+
+@dataclass
+class Shard:
+    """One partition: an index over a contiguous key slice + its stack."""
+
+    index: BFTree | BPlusTree
+    lo_key: object          # smallest routable key (None = open left end)
+    hi_key: object          # largest key at build time (scan clamping)
+    stack: StorageStack | None = None
+
+    @property
+    def bound(self) -> bool:
+        return self.stack is not None
+
+
+class ShardedIndex:
+    """Hash-free range partitioning of one indexed column across shards."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        key_column: str,
+        shards: list[Shard],
+        kind: str,
+        unique: bool,
+        donor_height: int,
+    ) -> None:
+        self.relation = relation
+        self.key_column = key_column
+        self.shards = shards
+        self.kind = kind
+        self.unique = unique
+        self.donor_height = donor_height
+        # Routing fences: shard s (s >= 1) serves keys >= its lo_key,
+        # mirroring the donor directory's rightmost-biased descent.
+        self._boundaries = np.asarray([s.lo_key for s in shards[1:]])
+
+    # ==================================================================
+    # construction
+    # ==================================================================
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        key_column: str,
+        n_shards: int = 4,
+        kind: str = "bf",
+        config: BFTreeConfig | BPlusTreeConfig | None = None,
+        unique: bool = False,
+    ) -> "ShardedIndex":
+        """Bulk-load a donor index and slice it into up to ``n_shards``.
+
+        The effective shard count may be lower than requested: each
+        shard keeps at least two leaves (directory-height parity with
+        the donor) and cuts are moved off key-spanning leaf boundaries.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if kind == "bf":
+            donor = BFTree.bulk_load(
+                relation, key_column, config, unique=unique
+            )
+            if not donor.ordered:
+                raise ValueError(
+                    "ShardedIndex requires an ordered column (partitioned "
+                    "data would probe neighbour leaves across shard borders)"
+                )
+            leaves = [donor.leaves[lid] for lid in donor._leaf_order]
+        else:
+            donor = BPlusTree.bulk_load(
+                relation, key_column, config, unique=unique
+            )
+            leaves = [donor.leaves[lid] for lid in donor._leaf_order]
+        donor_height = donor.height
+        cuts = cls._choose_cuts(leaves, n_shards, kind)
+        runs = [
+            leaves[start:stop]
+            for start, stop in zip([0] + cuts, cuts + [len(leaves)])
+        ]
+        shards: list[Shard] = []
+        for i, run in enumerate(runs):
+            if kind == "bf":
+                tree: BFTree | BPlusTree = BFTree.from_leaves(
+                    relation, key_column, run,
+                    config=donor.config, unique=unique,
+                    ordered=donor.ordered,
+                    geometry=donor.geometry,
+                    avg_cardinality=donor._avg_cardinality,
+                )
+                lo = run[0].min_key
+                hi = run[-1].max_key
+            else:
+                tree = BPlusTree.from_leaves(
+                    relation, key_column, run,
+                    config=donor.config, unique=unique,
+                )
+                lo = run[0].keys[0]
+                hi = run[-1].keys[-1]
+            shards.append(Shard(index=tree, lo_key=None if i == 0 else lo,
+                                hi_key=hi))
+        return cls(relation, key_column, shards, kind, unique, donor_height)
+
+    @staticmethod
+    def _choose_cuts(leaves: list, n_shards: int, kind: str) -> list[int]:
+        """Balanced leaf-chain cut positions, adjusted off spanning keys."""
+        n_leaves = len(leaves)
+        n = max(1, min(n_shards, n_leaves // 2))
+
+        def spans(c: int) -> bool:
+            """True when cutting before leaf ``c`` would split a key."""
+            left, right = leaves[c - 1], leaves[c]
+            if kind == "bf":
+                if getattr(right, "spill_back_pages", 0):
+                    return True
+                return (right.min_key is not None
+                        and right.min_key == left.max_key)
+            if not left.keys or not right.keys:
+                return True
+            return right.keys[0] == left.keys[-1]
+
+        cuts: list[int] = []
+        prev = 0
+        for s in range(1, n):
+            ideal = round(s * n_leaves / n)
+            c = max(ideal, prev + 2)
+            while c < n_leaves and spans(c):
+                c += 1
+            if c >= n_leaves or n_leaves - c < 2:
+                break
+            cuts.append(c)
+            prev = c
+        return cuts
+
+    # ==================================================================
+    # storage binding
+    # ==================================================================
+    def bind(self, config: StorageConfig | str, warm: bool = False) -> None:
+        """Give every shard a fresh, independent storage stack."""
+        for shard in self.shards:
+            shard.stack = build_stack(config)
+            shard.index.bind(shard.stack, warm=warm)
+
+    def unbind(self) -> None:
+        for shard in self.shards:
+            shard.index.unbind()
+            shard.stack = None
+
+    # ==================================================================
+    # routing
+    # ==================================================================
+    def route(self, keys) -> np.ndarray:
+        """Shard index for each key (vectorized, rightmost-biased)."""
+        if len(self.shards) == 1:
+            return np.zeros(len(keys), dtype=np.int64)
+        return np.searchsorted(self._boundaries, np.asarray(keys),
+                               side="right")
+
+    def route_key(self, key) -> int:
+        return int(self.route(np.asarray([key]))[0])
+
+    def scan_plan(self, lo, hi) -> list[tuple[int, object, object]]:
+        """(shard, sub_lo, sub_hi) legs of a range scan over [lo, hi]."""
+        if lo > hi:
+            raise ValueError(f"empty range: lo={lo} > hi={hi}")
+        s_lo = self.route_key(lo)
+        s_hi = self.route_key(hi)
+        legs: list[tuple[int, object, object]] = []
+        for s in range(s_lo, s_hi + 1):
+            shard = self.shards[s]
+            sub_lo = lo if s == s_lo else shard.lo_key
+            sub_hi = hi if s == s_hi else shard.hi_key
+            if sub_lo is None:
+                sub_lo = lo
+            if sub_lo <= sub_hi:
+                legs.append((s, sub_lo, sub_hi))
+        return legs
+
+    # ==================================================================
+    # operations (single-caller convenience; the Router batches)
+    # ==================================================================
+    def search(self, key) -> SearchResult:
+        return self.shards[self.route_key(key)].index.search(key)
+
+    def search_many(self, keys,
+                    latency_sink: list[float] | None = None
+                    ) -> list[SearchResult]:
+        """Route a probe batch and dispatch each shard's slice through
+        its ``search_many``; results come back in input order."""
+        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        assign = self.route(keys)
+        results: list[SearchResult | None] = [None] * len(keys)
+        latencies = [0.0] * len(keys)
+        for s, shard in enumerate(self.shards):
+            idx = np.nonzero(assign == s)[0]
+            if not len(idx):
+                continue
+            sub_sink: list[float] | None = (
+                [] if latency_sink is not None else None
+            )
+            shard_results = shard.index.search_many(
+                [keys[i] for i in idx], latency_sink=sub_sink
+            )
+            for j, i in enumerate(idx):
+                results[i] = shard_results[j]
+                if sub_sink is not None:
+                    latencies[i] = sub_sink[j]
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
+        return results
+
+    def insert(self, key, tid: int) -> None:
+        """Index tuple ``tid`` under ``key`` on the owning shard."""
+        key = key.item() if hasattr(key, "item") else key
+        self.insert_on(self.shards[self.route_key(key)], key, tid)
+
+    def insert_on(self, shard: Shard, key, tid: int) -> None:
+        """Kind-appropriate insert on an already-routed shard: BF-Trees
+        index data *pages*, the B+-Tree baseline indexes rids — the one
+        place that translation lives (the Router uses it too)."""
+        if self.kind == "bf":
+            shard.index.insert(key, self.relation.page_of(int(tid)))
+        else:
+            shard.index.insert(key, int(tid))
+
+    def range_scan(self, lo, hi) -> RangeScanResult:
+        """Scatter-gather scan: every overlapping shard scans its slice."""
+        total = RangeScanResult(matches=0, pages_read=0, leaves_visited=0)
+        for s, sub_lo, sub_hi in self.scan_plan(lo, hi):
+            part = self.shards[s].index.range_scan(sub_lo, sub_hi)
+            total.matches += part.matches
+            total.pages_read += part.pages_read
+            total.leaves_visited += part.leaves_visited
+        return total
+
+    # ==================================================================
+    # introspection
+    # ==================================================================
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def uniform_height(self) -> bool:
+        """True when every shard directory matches the donor's height —
+        the precondition for exact IOStats equivalence."""
+        return all(s.index.height == self.donor_height for s in self.shards)
+
+    @property
+    def size_pages(self) -> int:
+        return sum(s.index.size_pages for s in self.shards)
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(s.index.n_leaves for s in self.shards)
+
+    @property
+    def height(self) -> int:
+        return max(s.index.height for s in self.shards)
+
+    def merged_io(self) -> IOStats:
+        """Sum of all bound shards' counters."""
+        total = IOStats()
+        for shard in self.shards:
+            if shard.stack is not None:
+                total = total + shard.stack.stats
+        return total
+
+    def shard_clocks(self) -> list[float]:
+        return [
+            s.stack.clock.now() if s.stack is not None else 0.0
+            for s in self.shards
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ShardedIndex(kind={self.kind!r}, column={self.key_column!r}, "
+            f"shards={self.n_shards}, leaves={self.n_leaves}, "
+            f"pages={self.size_pages})"
+        )

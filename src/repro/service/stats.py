@@ -1,0 +1,168 @@
+"""Service-level statistics: merged IOStats and tail-latency summaries.
+
+A sharded service runs N independent storage stacks; explaining its
+behaviour needs two views the single-index harness never produced:
+
+* the **merged I/O picture** — per-shard :class:`IOStats` summed into
+  one counter block (identical to an unsharded stack's counters when the
+  shards partition the work, which the service guarantees for point
+  operations);
+* **tail latency** — per-operation simulated latencies folded into
+  p50/p95/p99 summaries, the metric a serving system is actually judged
+  by (a mean hides the HDD seek that every 100th probe eats).
+
+Simulated *throughput* is defined by the service's makespan: shards own
+independent device stacks and progress concurrently, so the service
+completes a trace when its slowest shard does, and throughput is
+``n_ops / max(per-shard clock)``.  The per-shard clocks also expose the
+load-balance ratio (max/mean), which quantifies how much a skewed key
+popularity concentrates work on the hot shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.storage.iostats import IOStats
+from repro.workloads.mixed import OP_NAMES
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile digest of one latency population (simulated seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_latencies(cls, latencies) -> "LatencySummary":
+        arr = np.asarray(latencies, dtype=np.float64)
+        if arr.size == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        p50, p95, p99 = np.percentile(arr, (50, 95, 99))
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(p50),
+            p95=float(p95),
+            p99=float(p99),
+            max=float(arr.max()),
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ServiceStats:
+    """Aggregate outcome of replaying one trace through a sharded service.
+
+    Holds the per-shard IOStats snapshots and simulated clocks plus the
+    per-operation latency array (aligned with the trace), and derives
+    the merged counters, percentile summaries and throughput from them.
+    """
+
+    def __init__(
+        self,
+        per_shard_io: list[IOStats],
+        per_shard_clock: list[float],
+        op_codes: np.ndarray,
+        op_latencies: np.ndarray,
+        wall_secs: float,
+    ) -> None:
+        self.per_shard_io = per_shard_io
+        self.per_shard_clock = per_shard_clock
+        self.op_codes = np.asarray(op_codes)
+        self.op_latencies = np.asarray(op_latencies, dtype=np.float64)
+        self.wall_secs = wall_secs
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.per_shard_io)
+
+    @property
+    def n_ops(self) -> int:
+        return int(self.op_codes.size)
+
+    @property
+    def io(self) -> IOStats:
+        """All shards' counters summed into one block."""
+        total = IOStats()
+        for stats in self.per_shard_io:
+            total = total + stats
+        return total
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time: the slowest shard's clock."""
+        return max(self.per_shard_clock) if self.per_shard_clock else 0.0
+
+    @property
+    def total_sim_seconds(self) -> float:
+        """Total simulated device/CPU time across all shards."""
+        return float(sum(self.per_shard_clock))
+
+    @property
+    def load_balance(self) -> float:
+        """Max/mean shard clock — 1.0 is perfectly balanced."""
+        if not self.per_shard_clock:
+            return 1.0
+        mean = self.total_sim_seconds / len(self.per_shard_clock)
+        return self.makespan / mean if mean > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    def latencies_for(self, op_name: str | None = None) -> np.ndarray:
+        """Per-op latencies, optionally restricted to one op type."""
+        if op_name is None:
+            return self.op_latencies
+        codes = [c for c, n in OP_NAMES.items() if n == op_name]
+        if not codes:
+            raise ValueError(
+                f"unknown op {op_name!r}; known: {sorted(OP_NAMES.values())}"
+            )
+        return self.op_latencies[self.op_codes == codes[0]]
+
+    def latency_summary(self, op_name: str | None = None) -> LatencySummary:
+        return LatencySummary.from_latencies(self.latencies_for(op_name))
+
+    # ------------------------------------------------------------------
+    def throughput(self) -> float:
+        """Operations per simulated second at service level (makespan)."""
+        span = self.makespan
+        return self.n_ops / span if span > 0 else float("inf")
+
+    def wall_throughput(self) -> float:
+        """Operations per wall-clock second of the replay itself."""
+        return self.n_ops / self.wall_secs if self.wall_secs > 0 else float("inf")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able digest (used by serve-bench and the benchmarks)."""
+        per_op = {
+            name: self.latency_summary(name).to_dict()
+            for code, name in OP_NAMES.items()
+            if np.any(self.op_codes == code)
+        }
+        io = self.io
+        return {
+            "n_shards": self.n_shards,
+            "n_ops": self.n_ops,
+            "latency": {
+                "overall": self.latency_summary().to_dict(),
+                **per_op,
+            },
+            "throughput_ops_per_sim_sec": self.throughput(),
+            "throughput_ops_per_wall_sec": self.wall_throughput(),
+            "makespan_sim_secs": self.makespan,
+            "total_sim_secs": self.total_sim_seconds,
+            "load_balance": self.load_balance,
+            "wall_secs": self.wall_secs,
+            "per_shard_sim_secs": list(self.per_shard_clock),
+            "io": {f.name: getattr(io, f.name) for f in fields(io)},
+        }

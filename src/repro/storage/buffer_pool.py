@@ -56,14 +56,19 @@ class BufferPool:
         """Access ``page_id``; return True on a cache hit.
 
         A hit costs one DRAM page touch.  A miss charges the device and
-        inserts the page (evicting LRU if needed).
+        inserts the page (evicting LRU if needed).  A *disabled* pool
+        (``capacity_pages=0``, the cold-cache O_DIRECT mode) counts
+        neither hits nor misses: there is no cache, so charging
+        ``cache_misses`` would deflate hit-rate metrics computed over
+        cold-cache runs.
         """
-        if self.enabled and page_id in self._pages:
-            self._pages.move_to_end(page_id)
-            self.device.stats.cache_hits += 1
-            self.device.clock.advance(MEMORY_PROFILE.random_read)
-            return True
-        self.device.stats.cache_misses += 1
+        if self.enabled:
+            if page_id in self._pages:
+                self._pages.move_to_end(page_id)
+                self.device.stats.cache_hits += 1
+                self.device.clock.advance(MEMORY_PROFILE.random_read)
+                return True
+            self.device.stats.cache_misses += 1
         self.device.read_page(page_id, sequential=sequential)
         if self.admit_on_miss:
             self._admit(page_id)

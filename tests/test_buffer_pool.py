@@ -37,6 +37,24 @@ class TestBasics:
         assert device.stats.index_random_reads == 2
         assert not pool.enabled
 
+    def test_disabled_pool_counts_no_misses(self):
+        """Regression: a disabled pool (cold-cache O_DIRECT mode) must not
+        charge cache_misses — there is no cache, and counting misses
+        deflated hit-rate metrics computed over cold-cache runs."""
+        pool, device = _pool(0)
+        pool.read_page(1)
+        pool.read_page(1)
+        assert device.stats.cache_misses == 0
+        assert device.stats.cache_hits == 0
+
+    def test_enabled_pool_still_counts_misses(self):
+        pool, device = _pool(2)
+        pool.read_page(1)
+        pool.read_page(2)
+        pool.read_page(1)
+        assert device.stats.cache_misses == 2
+        assert device.stats.cache_hits == 1
+
     def test_unbounded_capacity(self):
         pool, _ = _pool(None)
         for page in range(1000):

@@ -78,3 +78,42 @@ def test_unknown_column_rejected():
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_serve_bench_command(capsys):
+    assert main([
+        "serve-bench", "--tuples", "8192", "--ops", "150",
+        "--shards", "1", "2", "--mix", "read_heavy", "--seed", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serve-bench" in out
+    assert "p99" in out and "ops/sim-sec" in out
+
+
+def test_serve_bench_json_and_threads(capsys):
+    import json
+
+    assert main([
+        "serve-bench", "--tuples", "8192", "--ops", "100",
+        "--shards", "2", "--mix", "scan_mix", "--threads", "2", "--json",
+    ]) == 0
+    out = capsys.readouterr().out
+    payload = out[out.index("["):]
+    reports = json.loads(payload)
+    assert reports[0]["latency"]["read"]["p99"] > 0
+    assert reports[0]["throughput_ops_per_sim_sec"] > 0
+
+
+def test_seed_flag_reproducible(capsys):
+    """One --seed knob makes whole runs reproducible; changing it changes
+    the sampled probes (and thus, in general, the measured output)."""
+    runs = []
+    for seed in ("11", "11", "12"):
+        assert main([
+            "probe", "--tuples", "4096", "--config", "MEM/SSD",
+            "--probes", "30", "--fpp", "1e-3", "--hit-rate", "0.5",
+            "--seed", seed,
+        ]) == 0
+        runs.append(capsys.readouterr().out)
+    assert runs[0] == runs[1]
+    assert runs[0] != runs[2]

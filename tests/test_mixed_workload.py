@@ -1,0 +1,140 @@
+"""Mixed-workload traces: determinism, mixes, skew, and seed plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    MIXES,
+    OP_INSERT,
+    OP_READ,
+    OP_SCAN,
+    OperationMix,
+    ZipfianGenerator,
+    derive_seed,
+    generate_trace,
+    synthetic,
+)
+from repro.workloads.seeds import DEFAULT_SEEDS
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return synthetic.generate(8192, seed=31)
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self, relation):
+        a = generate_trace(relation, "pk", mix="balanced", n_ops=400, seed=9)
+        b = generate_trace(relation, "pk", mix="balanced", n_ops=400, seed=9)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.tids, b.tids)
+        assert np.array_equal(a.scan_widths, b.scan_widths)
+
+    def test_different_seed_different_trace(self, relation):
+        a = generate_trace(relation, "pk", n_ops=400, seed=9)
+        b = generate_trace(relation, "pk", n_ops=400, seed=10)
+        assert not np.array_equal(a.keys, b.keys)
+
+
+class TestMixes:
+    def test_known_mixes_sum_to_one(self):
+        for mix in MIXES.values():
+            assert pytest.approx(1.0) == mix.read + mix.insert + mix.scan
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            OperationMix("broken", read=0.5, insert=0.1)
+
+    def test_unknown_mix_name_rejected(self, relation):
+        with pytest.raises(ValueError, match="unknown mix"):
+            generate_trace(relation, "pk", mix="nope")
+
+    def test_proportions_approximate(self, relation):
+        trace = generate_trace(relation, "pk", mix="read_heavy", n_ops=4000,
+                               seed=3)
+        counts = trace.op_counts
+        assert counts["read"] / len(trace) == pytest.approx(0.95, abs=0.03)
+        assert counts["insert"] / len(trace) == pytest.approx(0.05, abs=0.03)
+        assert counts["scan"] == 0
+
+    def test_scan_mix_has_all_ops(self, relation):
+        trace = generate_trace(relation, "pk", mix="scan_mix", n_ops=2000,
+                               seed=3)
+        assert trace.count(OP_READ) > 0
+        assert trace.count(OP_INSERT) > 0
+        assert trace.count(OP_SCAN) > 0
+        widths = trace.scan_widths[trace.ops == OP_SCAN]
+        assert widths.min() >= 1 and widths.max() <= 100
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        gen = ZipfianGenerator(1000, theta=0.99)
+        rng = np.random.default_rng(0)
+        ranks = gen.ranks(rng.random(10_000))
+        assert ranks.min() >= 0 and ranks.max() < 1000
+
+    def test_skew_concentrates_mass(self):
+        """Top 1% of ranks draw far more than 1% of accesses."""
+        gen = ZipfianGenerator(10_000, theta=0.99)
+        rng = np.random.default_rng(1)
+        ranks = gen.ranks(rng.random(50_000))
+        top_share = np.mean(ranks < 100)
+        assert top_share > 0.3
+
+    def test_zipfian_trace_hotter_than_uniform(self, relation):
+        zipf = generate_trace(relation, "pk", mix="read_only", n_ops=5000,
+                              skew="zipfian", seed=4)
+        unif = generate_trace(relation, "pk", mix="read_only", n_ops=5000,
+                              skew="uniform", seed=4)
+        # Hottest single key's share of traffic.
+        _, zc = np.unique(zipf.keys, return_counts=True)
+        _, uc = np.unique(unif.keys, return_counts=True)
+        assert zc.max() > 10 * uc.max()
+
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=0.0)
+
+
+class TestTraceContents:
+    def test_insert_tids_hold_key(self, relation):
+        trace = generate_trace(relation, "pk", mix="insert_heavy",
+                               n_ops=500, seed=5)
+        values = np.asarray(relation.columns["pk"])
+        idx = np.nonzero(trace.ops == OP_INSERT)[0]
+        assert len(idx) > 0
+        assert np.array_equal(values[trace.tids[idx]], trace.keys[idx])
+
+    def test_hit_rate_marks_misses(self, relation):
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=1000,
+                               seed=6, hit_rate=0.7)
+        values = set(np.asarray(relation.columns["pk"]).tolist())
+        reads = trace.ops == OP_READ
+        hits = np.asarray(
+            [int(k) in values for k in trace.keys[reads]]
+        )
+        assert hits.mean() == pytest.approx(0.7, abs=0.02)
+        assert np.array_equal(hits, trace.expected_hits[reads])
+
+
+class TestSeedPlumbing:
+    def test_defaults_without_master(self):
+        assert derive_seed(None, "relation") == DEFAULT_SEEDS["relation"]
+        assert derive_seed(None, "probes") == 1234
+        assert derive_seed(None, "ranges") == 77
+
+    def test_streams_are_separated(self):
+        seeds = {derive_seed(123, stream) for stream in DEFAULT_SEEDS}
+        assert len(seeds) == len(DEFAULT_SEEDS)
+
+    def test_deterministic(self):
+        assert derive_seed(7, "trace") == derive_seed(7, "trace")
+        assert derive_seed(7, "trace") != derive_seed(8, "trace")
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(KeyError):
+            derive_seed(1, "nope")

@@ -1,0 +1,273 @@
+"""Sharded index service: equivalence, routing, latency accounting.
+
+The headline property: a ShardedIndex over *any* shard count returns
+bit-identical ``SearchResult``s and summed per-shard IOStats equal to a
+single unsharded index replaying the same trace — across uniform and
+Zipfian key popularity, for both index kinds, and under interleaved
+inserts (leaf splits included, thanks to structural filter seeding).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPlusTree
+from repro.core import BFTree, BFTreeConfig
+from repro.harness import run_service
+from repro.service import Router, ShardedIndex
+from repro.storage import build_stack
+from repro.workloads import (
+    OP_INSERT,
+    OP_READ,
+    OP_SCAN,
+    generate_trace,
+    point_probes,
+    synthetic,
+)
+
+FPP = 1e-3
+CONFIG = "MEM/SSD"
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return synthetic.generate(16384, seed=21)
+
+
+def _unsharded(relation, column, kind, unique):
+    if kind == "bf":
+        return BFTree.bulk_load(relation, column, BFTreeConfig(fpp=FPP),
+                                unique=unique)
+    return BPlusTree.bulk_load(relation, column, unique=unique)
+
+
+def _replay_unsharded(tree, trace, relation):
+    """Trace-order scalar replay on one stack; returns (results, io)."""
+    stack = build_stack(CONFIG)
+    tree.bind(stack)
+    try:
+        results = []
+        for i in range(len(trace)):
+            key = trace.keys[i].item()
+            op = int(trace.ops[i])
+            if op == OP_READ:
+                results.append(tree.search(key))
+            elif op == OP_INSERT:
+                tid = int(trace.tids[i])
+                if isinstance(tree, BFTree):
+                    tree.insert(key, relation.page_of(tid))
+                else:
+                    tree.insert(key, tid)
+                results.append(None)
+            else:
+                hi = key + int(trace.scan_widths[i]) - 1
+                results.append(tree.range_scan(key, hi))
+    finally:
+        tree.unbind()
+    return results, stack.stats.snapshot()
+
+
+class TestShardedEquivalence:
+    """Sharded == unsharded, bit for bit, for point operations."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 7, 8])
+    @pytest.mark.parametrize("skew", ["uniform", "zipfian"])
+    def test_probe_equivalence_bf(self, relation, n_shards, skew):
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=300,
+                               skew=skew, seed=5, hit_rate=0.85)
+        tree = _unsharded(relation, "pk", "bf", unique=True)
+        ref_results, ref_io = _replay_unsharded(tree, trace, relation)
+
+        service = ShardedIndex.build(relation, "pk", n_shards=n_shards,
+                                     kind="bf", config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        report = run_service(service, trace, CONFIG)
+        assert service.uniform_height
+        assert report.results == ref_results
+        assert report.io == ref_io
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_probe_equivalence_bplus(self, relation, n_shards):
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=200,
+                               skew="zipfian", seed=6, hit_rate=0.9)
+        tree = _unsharded(relation, "pk", "bplus", unique=True)
+        ref_results, ref_io = _replay_unsharded(tree, trace, relation)
+
+        service = ShardedIndex.build(relation, "pk", n_shards=n_shards,
+                                     kind="bplus", unique=True)
+        report = run_service(service, trace, CONFIG)
+        assert report.results == ref_results
+        assert report.io == ref_io
+
+    def test_probe_equivalence_nonunique_column(self, relation):
+        """The duplicate-heavy att1 column: spanning keys must not be cut."""
+        trace = generate_trace(relation, "att1", mix="read_only", n_ops=200,
+                               skew="zipfian", seed=8, hit_rate=0.8)
+        tree = _unsharded(relation, "att1", "bf", unique=False)
+        ref_results, ref_io = _replay_unsharded(tree, trace, relation)
+
+        service = ShardedIndex.build(relation, "att1", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP))
+        report = run_service(service, trace, CONFIG)
+        assert report.results == ref_results
+        assert report.io == ref_io
+
+    @pytest.mark.parametrize("mix", ["balanced", "insert_heavy"])
+    def test_mixed_trace_with_splits(self, relation, mix):
+        """Insert-heavy replay — leaf splits happen on both sides and the
+        rebuilt filters still match bit for bit (structural seeds)."""
+        trace = generate_trace(relation, "pk", mix=mix, n_ops=400,
+                               skew="zipfian", seed=13)
+        tree = _unsharded(relation, "pk", "bf", unique=True)
+        ref_results, ref_io = _replay_unsharded(tree, trace, relation)
+
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        report = run_service(service, trace, CONFIG)
+        assert report.results == ref_results
+        assert report.io == ref_io
+
+    def test_range_scan_counts(self, relation):
+        """Scatter-gather scans: identical matches/pages/leaves."""
+        tree = _unsharded(relation, "pk", "bf", unique=True)
+        stack = build_stack(CONFIG)
+        tree.bind(stack)
+        ref = tree.range_scan(3000, 9000)
+        tree.unbind()
+
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        service.bind(CONFIG)
+        result = service.range_scan(3000, 9000)
+        service.unbind()
+        assert result.matches == ref.matches
+        assert result.pages_read == ref.pages_read
+        assert result.leaves_visited == ref.leaves_visited
+
+
+class TestRouting:
+    def test_route_matches_directory(self, relation):
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        keys = np.asarray(relation.columns["pk"])[::97]
+        assign = service.route(keys)
+        for key, s in zip(keys, assign):
+            shard = service.shards[s]
+            assert shard.lo_key is None or key >= shard.lo_key
+            if s + 1 < service.n_shards:
+                assert key < service.shards[s + 1].lo_key
+
+    def test_shards_partition_leaves(self, relation):
+        tree = _unsharded(relation, "pk", "bf", unique=True)
+        n_leaves = tree.n_leaves
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        assert service.n_leaves == n_leaves
+        assert all(s.index.n_leaves >= 2 for s in service.shards)
+
+    def test_excess_shards_clamped(self, relation):
+        service = ShardedIndex.build(relation, "pk", n_shards=10_000,
+                                     kind="bf", config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        assert 1 <= service.n_shards <= service.n_leaves // 2 + 1
+
+    def test_scan_plan_covers_range(self, relation):
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        legs = service.scan_plan(100, 16000)
+        assert legs[0][1] == 100
+        assert legs[-1][2] == 16000
+        for (_, _, hi_a), (_, lo_b, _) in zip(legs, legs[1:]):
+            assert hi_a < lo_b  # disjoint, ordered legs
+
+
+class TestLatencyAccounting:
+    def test_batch_latencies_match_scalar(self, relation):
+        """latency_sink under search_many == per-op clock brackets."""
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=150,
+                               skew="zipfian", seed=3, hit_rate=0.9)
+        service = ShardedIndex.build(relation, "pk", n_shards=3, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        batched = run_service(service, trace, CONFIG, batch=True)
+
+        service2 = ShardedIndex.build(relation, "pk", n_shards=3, kind="bf",
+                                      config=BFTreeConfig(fpp=FPP),
+                                      unique=True)
+        scalar = run_service(service2, trace, CONFIG, batch=False)
+        assert np.allclose(batched.stats.op_latencies,
+                           scalar.stats.op_latencies, rtol=1e-9)
+        assert batched.results == scalar.results
+
+    def test_percentiles_monotone(self, relation):
+        trace = generate_trace(relation, "pk", mix="scan_mix", n_ops=300,
+                               skew="zipfian", seed=4)
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        report = run_service(service, trace, CONFIG)
+        summary = report.latency()
+        assert 0 < summary.p50 <= summary.p95 <= summary.p99 <= summary.max
+        reads = report.latency("read")
+        assert reads.count == trace.count(OP_READ)
+        scans = report.latency("scan")
+        assert scans.count == trace.count(OP_SCAN)
+
+    def test_threaded_replay_deterministic(self, relation):
+        trace = generate_trace(relation, "pk", mix="balanced", n_ops=300,
+                               skew="zipfian", seed=11)
+        reports = []
+        for threads in (None, 4):
+            service = ShardedIndex.build(relation, "pk", n_shards=4,
+                                         kind="bf",
+                                         config=BFTreeConfig(fpp=FPP),
+                                         unique=True)
+            reports.append(
+                run_service(service, trace, CONFIG, threads=threads)
+            )
+        serial, threaded = reports
+        assert serial.results == threaded.results
+        assert serial.io == threaded.io
+        assert np.allclose(serial.stats.op_latencies,
+                           threaded.stats.op_latencies)
+
+    def test_makespan_shrinks_with_shards(self, relation):
+        """More shards => smaller simulated makespan (higher throughput)."""
+        trace = generate_trace(relation, "pk", mix="read_heavy", n_ops=400,
+                               skew="uniform", seed=17)
+        spans = []
+        for n_shards in (1, 4):
+            service = ShardedIndex.build(relation, "pk", n_shards=n_shards,
+                                         kind="bf",
+                                         config=BFTreeConfig(fpp=FPP),
+                                         unique=True)
+            spans.append(run_service(service, trace, CONFIG).stats.makespan)
+        assert spans[1] < spans[0] / 2  # >= 2x scaling at 4 shards
+
+
+class TestRouterValidation:
+    def test_replay_requires_bind(self, relation):
+        service = ShardedIndex.build(relation, "pk", n_shards=2, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        trace = generate_trace(relation, "pk", n_ops=10, seed=1)
+        with pytest.raises(RuntimeError, match="not bound"):
+            Router(service).replay(trace)
+
+    def test_bad_kind_rejected(self, relation):
+        with pytest.raises(ValueError, match="kind"):
+            ShardedIndex.build(relation, "pk", kind="hash")
+
+    def test_search_many_unbound_runs_free(self, relation):
+        """Unbound service still answers (no I/O charged), like the trees."""
+        service = ShardedIndex.build(relation, "pk", n_shards=2, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        probes = point_probes(relation, "pk", 20, seed=2)
+        results = service.search_many(probes.keys)
+        assert len(results) == 20
+        assert all(r.found for r in results)

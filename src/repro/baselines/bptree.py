@@ -107,6 +107,12 @@ class BPlusTree:
         self.leaves: dict[int, BPLeaf] = {}
         self._data_device: Device | None = None
         self._index_pool: BufferPool | None = None
+        # Key span this tree's leaves cover, maintained incrementally
+        # (bulk load / from_leaves / insert) so the clustered range-scan
+        # clamp stays O(1).  Deletes never shrink it: a too-wide span
+        # only weakens the clamp back toward the pre-clamp behaviour.
+        self._lo_key: object = None
+        self._hi_key: object = None
 
     # ==================================================================
     # construction
@@ -154,6 +160,8 @@ class BPlusTree:
         tree._leaf_order = [l.node_id for l in order]
         separators = [tree.leaves[lid].keys[0] for lid in tree._leaf_order[1:]]
         tree.inner.build(separators, tree._leaf_order)
+        tree._lo_key = order[0].keys[0]
+        tree._hi_key = order[-1].keys[-1]
         return tree
 
     @classmethod
@@ -187,6 +195,8 @@ class BPlusTree:
         tree._leaf_order = [leaf.node_id for leaf in leaves]
         separators = [leaf.keys[0] for leaf in leaves[1:]]
         tree.inner.build(separators, tree._leaf_order)
+        tree._lo_key = leaves[0].keys[0]
+        tree._hi_key = leaves[-1].keys[-1]
         return tree
 
     def _new_leaf(self) -> BPLeaf:
@@ -371,10 +381,59 @@ class BPlusTree:
             i = bisect.bisect_left(leaf.keys, key)
             leaf.keys.insert(i, key)
             leaf.ridlists.insert(i, [tid])
+        if self._lo_key is None or key < self._lo_key:
+            self._lo_key = key
+        if self._hi_key is None or key > self._hi_key:
+            self._hi_key = key
         self.store.write(leaf.node_id)
         ksz, psz = self.config.key_size, self.config.ptr_size
         if leaf.bytes_used(ksz, psz) > self.config.page_size:
             self._split_leaf(leaf)
+
+    def insert_many(self, keys, tids,
+                    latency_sink: list[float] | None = None) -> None:
+        """Batch counterpart of :meth:`insert` (same protocol as BF-Tree).
+
+        The exact index has no per-key hashing to vectorize — an insert
+        is one descent, one binary search and a list insert — so this is
+        the per-key loop with identical I/O charging, kept so the write
+        path of service benchmarks stays apples-to-apples with
+        ``BFTree.insert_many``.  ``latency_sink`` receives one simulated
+        per-op latency per insert, as the batch write engine reports.
+        """
+        clock = (
+            self.store.device.clock if self.store.device is not None else None
+        )
+        track = latency_sink is not None and clock is not None
+        for key, tid in zip(keys, tids):
+            start = clock.now() if track else 0.0
+            self.insert(key.item() if hasattr(key, "item") else key, int(tid))
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in keys)
+
+    def delete_many(self, keys, tids=None,
+                    latency_sink: list[float] | None = None) -> list[bool]:
+        """Batch :meth:`delete`; per-op latencies via ``latency_sink``."""
+        n = len(keys)
+        tids = [None] * n if tids is None else list(tids)
+        clock = (
+            self.store.device.clock if self.store.device is not None else None
+        )
+        track = latency_sink is not None and clock is not None
+        outcomes: list[bool] = []
+        for key, tid in zip(keys, tids):
+            start = clock.now() if track else 0.0
+            outcomes.append(self.delete(
+                key.item() if hasattr(key, "item") else key,
+                tid=None if tid is None else int(tid),
+            ))
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in keys)
+        return outcomes
 
     def delete(self, key, tid: int | None = None) -> bool:
         """Remove one rid (or the whole entry when ``tid`` is None)."""
@@ -452,8 +511,20 @@ class BPlusTree:
             current = self.leaves[current.next_leaf_id]
         if self.config.clustered:
             # Rid lists hold first occurrences; the matching tuples are the
-            # contiguous span of the sorted column.
+            # contiguous span of the sorted column.  The span is clamped to
+            # the keys *this tree's leaves actually hold*: a shard of a
+            # ShardedIndex indexes only its slice of the relation, and its
+            # scan legs may reach up to the routing boundary — without the
+            # clamp a cross-shard scan would count the neighbour shard's
+            # boundary tuples twice.  For an unsharded tree the clamp is a
+            # no-op (its leaves span the whole column).
             values = np.asarray(self.relation.columns[self.key_column])
+            if self._lo_key is not None:
+                lo = max(lo, self._lo_key)
+                hi = min(hi, self._hi_key)
+            if lo > hi:
+                return RangeScanResult(matches=0, pages_read=0,
+                                       leaves_visited=leaves_visited)
             first = int(np.searchsorted(values, lo, side="left"))
             last = int(np.searchsorted(values, hi, side="right")) - 1
             if last < first:

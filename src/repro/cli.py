@@ -246,7 +246,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         report = run_service(
             service, trace, config, warm=args.warm,
-            batch=not args.no_batch, threads=args.threads,
+            batch=not args.no_batch,
+            write_batch=False if args.no_write_batch else None,
+            threads=args.threads,
         )
         reports.append(report)
         reads = report.latency("read")
@@ -379,7 +381,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--warm", action="store_true")
     p_serve.add_argument("--no-batch", action="store_true",
                          help="disable the vectorized batch-probe engine "
-                              "(per-op dispatch; same simulated results)")
+                              "(per-op dispatch; same simulated results; "
+                              "also disables write batching unless "
+                              "--no-write-batch says otherwise)")
+    p_serve.add_argument("--no-write-batch", action="store_true",
+                         help="disable Router write batching (inserts "
+                              "dispatch per op instead of through the "
+                              "vectorized insert_many batch write engine; "
+                              "same simulated results)")
     p_serve.add_argument("--threads", type=int, default=None,
                          help="replay shards on a thread pool of this size")
     p_serve.add_argument("--json", action="store_true",

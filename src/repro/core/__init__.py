@@ -4,6 +4,7 @@ from repro.core.bf_leaf import BFLeaf, BFLeafGeometry, LeafOverflow
 from repro.core.bf_tree import (
     BFTree,
     BFTreeConfig,
+    DeleteOutcome,
     RangeScanResult,
     SearchResult,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "LeafOverflow",
     "BFTree",
     "BFTreeConfig",
+    "DeleteOutcome",
     "RangeScanResult",
     "SearchResult",
     "DEFAULT_HASH_COUNT",

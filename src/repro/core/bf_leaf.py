@@ -25,6 +25,13 @@ a vectorized batch path (:meth:`BFLeaf.matching_groups_many` /
 :meth:`BFLeaf.matching_page_runs_many`) that tests all S filters for N
 probe keys in one NumPy pass — the leaf-level engine behind
 ``BFTree.search_many``.  Both paths return identical results.
+
+Writes mirror that split: scalar :meth:`BFLeaf.add`, and the prehashed
+primitives :meth:`BFLeaf.hash_batch` + :meth:`BFLeaf.add_prehashed`
+that ``BFTree.insert_many`` drives (hash a key batch once against the
+leaf's shared filter geometry, then apply per key), bundled for
+single-leaf use as :meth:`BFLeaf.add_many`.  Scalar and prehashed
+paths leave bit-identical state.
 """
 
 from __future__ import annotations
@@ -39,10 +46,24 @@ from repro.core.bloom import (
     fpp_after_inserts,
     optimal_hash_count,
 )
-from repro.core.hashing import bloom_positions_batch, keys_to_int_array
+from repro.core.hashing import (
+    bloom_positions,
+    bloom_positions_batch,
+    key_to_int,
+    keys_to_int_array,
+)
 
 LEAF_HEADER_BYTES = 48
 """min_key, max_key, min_pid, S, #keys, next pointer, geometry fields."""
+
+DUPLICATE_TRUST_MAX_FPP = 0.5
+"""Ceiling on a group filter's effective false-positive rate above which
+its membership test is no longer trusted to classify an insert as a
+re-insert.  Without the ceiling a saturated filter (every probe answers
+"present") would swallow all novel keys as duplicates, freezing nkeys
+and permanently preventing the capacity split that would rebuild it;
+past the ceiling every insert counts as new, which errs toward exactly
+that split."""
 
 
 @dataclass
@@ -202,11 +223,78 @@ class BFLeaf:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def add(self, key, pid: int) -> None:
+    def filter_hash_seed(self) -> int:
+        """The hash seed every filter of this leaf uses (see filter_seed)."""
+        if self.filters:
+            return self.filters[0].seed
+        return self.node_id if self.filter_seed is None else self.filter_seed
+
+    def key_positions(self, key) -> list[int]:
+        """The k filter bit positions ``key`` hashes to in this leaf."""
+        geo = self.geometry
+        return bloom_positions(
+            key_to_int(key), geo.hash_count, geo.bits_per_bf,
+            self.filter_hash_seed(),
+        )
+
+    def hash_batch(self, keys) -> np.ndarray:
+        """``(len(keys), k)`` bit positions, hashed once for the batch.
+
+        All filters of one leaf share nbits/k/seed, so these rows are
+        valid against every filter — the write-path counterpart of the
+        shared-hash probe path (:meth:`_match_matrix`).
+        """
+        geo = self.geometry
+        return bloom_positions_batch(
+            keys_to_int_array(keys), geo.hash_count, geo.bits_per_bf,
+            self.filter_hash_seed(),
+        )
+
+    def add(self, key, pid: int) -> bool:
         """Index ``key`` as present on data page ``pid``.
 
         Grows the filter list to cover ``pid`` if needed; raises if the
         page budget cannot reach that far (caller must split first).
+
+        Returns True when the insert grew ``nkeys``.  A re-insert of an
+        already-present ``(key, page group)`` pair — detected through the
+        group filter's own membership test, the only memory the leaf has —
+        leaves ``nkeys`` unchanged: the filter bits don't change, so
+        neither does the capacity the leaf has actually consumed.  (The
+        test can false-positive at the filter's fpp, under-counting a
+        genuinely new key; that error is the same order as the accuracy
+        the leaf already promises.  Once a filter degrades past
+        :data:`DUPLICATE_TRUST_MAX_FPP` the test is ignored and every
+        insert counts as new, so a saturated filter can never freeze
+        ``nkeys`` and suppress the split that would rebuild it.)
+        """
+        return self.add_prehashed(key, pid, self.key_positions(key))
+
+    def duplicate_prehashed(self, pid: int, positions) -> bool:
+        """Would adding a key with these positions on ``pid`` be a re-insert?
+
+        True when the group filter covering ``pid`` already reports the
+        key present (bit level) *and* the filter is still reliable
+        enough to say so (its effective fpp is below
+        :data:`DUPLICATE_TRUST_MAX_FPP`) — such an add cannot grow
+        ``nkeys``.
+        """
+        group = self.group_of(pid)
+        if group >= self.nfilters:
+            return False
+        filt = self.filters[group]
+        return (filt.contains_positions(positions)
+                and filt.effective_fpp() <= DUPLICATE_TRUST_MAX_FPP)
+
+    def add_prehashed(self, key, pid: int, positions,
+                      duplicate: bool | None = None) -> bool:
+        """:meth:`add` with the key's bit positions already computed.
+
+        ``duplicate`` short-circuits the membership re-test when the
+        caller already knows the answer (the batch write path tests whole
+        key groups vectorized; set bits are never cleared by adds, so a
+        positive test stays valid for the rest of the batch).  Returns
+        True when ``nkeys`` grew.
         """
         group = self.group_of(pid)
         if group >= self.geometry.max_filters:
@@ -216,16 +304,50 @@ class BFLeaf:
             )
         while self.nfilters <= group:
             self.filters.append(self._new_filter())
-        self.filters[group].add(key)
+        filt = self.filters[group]
+        if duplicate is None:
+            duplicate = (filt.contains_positions(positions)
+                         and filt.effective_fpp()
+                         <= DUPLICATE_TRUST_MAX_FPP)
+        if duplicate and self.geometry.filter_kind != "counting":
+            # All bits already set: the scatter would be a no-op.  Only
+            # the add multiplicity is recorded (as filter.add would).
+            filt.count += 1
+        else:
+            filt.add_positions(positions)
         self.pages_covered = max(self.pages_covered, pid - self.min_pid + 1)
-        self.nkeys += 1
-        if self.nkeys > self.key_capacity:
-            self.extra_inserts += 1
+        if not duplicate:
+            self.nkeys += 1
+            if self.nkeys > self.key_capacity:
+                self.extra_inserts = self.nkeys - self.key_capacity
         if self.min_key is None or key < self.min_key:
             self.min_key = key
         if self.max_key is None or key > self.max_key:
             self.max_key = key
         self.deleted_keys.discard(key)
+        return not duplicate
+
+    def add_many(self, keys, pids) -> int:
+        """Batch :meth:`add` of parallel ``keys``/``pids`` sequences.
+
+        Bit-identical to the scalar add loop — same filter bits, same
+        ``nkeys``/``extra_inserts``/key-range/tombstone bookkeeping, and
+        (on overflow) the same partial state with the exception raised
+        at the same key — with the whole batch hashed in one NumPy pass
+        instead of k Python-level hash rounds per key.  Returns the
+        number of adds that grew ``nkeys``.  (``BFTree.insert_many``
+        drives :meth:`hash_batch`/:meth:`add_prehashed` directly, with
+        its own cross-leaf planning on top; this is the single-leaf
+        convenience bundle of the same primitives.)
+        """
+        keys = list(keys)
+        if not keys:
+            return 0
+        positions = self.hash_batch(keys)
+        grew = 0
+        for j, (key, pid) in enumerate(zip(keys, pids)):
+            grew += self.add_prehashed(key, pid, positions[j].tolist())
+        return grew
 
     def add_page_keys(self, keys, pid: int) -> None:
         """Vectorized :meth:`add` of one page's distinct keys (bulk load).
@@ -247,6 +369,8 @@ class BFLeaf:
         self.pages_covered = max(self.pages_covered, pid - self.min_pid + 1)
         self.nkeys += len(keys)
         if self.nkeys > self.key_capacity:
+            # Same reconciliation rule as add_prehashed: overflow is
+            # always nkeys - key_capacity, however the leaf got there.
             self.extra_inserts = self.nkeys - self.key_capacity
         if self.deleted_keys:
             # Re-inserted keys stop being tombstoned, same as :meth:`add`.
@@ -291,10 +415,15 @@ class BFLeaf:
                 "remove_key requires filter_kind='counting'; plain filters "
                 "delete through the tombstone list (mark_deleted)"
             )
+        return self.remove_key_prehashed(pid, self.key_positions(key))
+
+    def remove_key_prehashed(self, pid: int, positions) -> bool:
+        """:meth:`remove_key` with the key's positions already computed
+        (the batch delete path hashes once per leaf)."""
         group = self.group_of(pid)
         if group >= self.nfilters:
             return False
-        removed = self.filters[group].remove(key)
+        removed = self.filters[group].remove_positions(positions)
         if removed:
             self.nkeys = max(0, self.nkeys - 1)
         return removed

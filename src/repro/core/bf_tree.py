@@ -18,6 +18,12 @@ Algorithms implemented, with their paper counterparts:
   ``probe --batch`` run on it.
 * :meth:`BFTree.insert`      — Algorithm 3 (extend key range, bump #keys,
   add to the per-page BF; split when over capacity).
+* :meth:`BFTree.insert_many` / :meth:`BFTree.delete_many` — vectorized
+  Algorithm 3 over a write batch: identical tree state, filter bitsets
+  and I/O charging to the scalar loop (splits included, handled by
+  re-planning the affected sub-batch), with the batch routed in one
+  pass and hashed once per target leaf.  The Router's write batching
+  and ``serve-bench``'s batch write mode run on it.
 * :meth:`BFTree._split_leaf` — Algorithm 2 (rebuild two leaves; we rebuild
   by re-scanning the leaf's small page range, the recomputation that §3
   argues is feasible precisely because leaf ranges are small).
@@ -36,13 +42,15 @@ data device.
 
 from __future__ import annotations
 
+import bisect
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.bf_leaf import (
+    DUPLICATE_TRUST_MAX_FPP,
     LEAF_HEADER_BYTES,
     BFLeaf,
     BFLeafGeometry,
@@ -121,6 +129,25 @@ class RangeScanResult:
     matches: int
     pages_read: int
     leaves_visited: int
+
+
+@dataclass(frozen=True)
+class DeleteOutcome:
+    """Outcome of one index delete (truthy when the key was removed).
+
+    ``tombstoned`` records the *mechanism*: True when the key landed on
+    the leaf's deleted-key list (always, for plain filters; for counting
+    filters only when the caller omitted ``pid`` and the in-place
+    counter decrement was impossible — the fallback §7's fpp accounting
+    cares about, since tombstones and counter decrements degrade the
+    filter differently).
+    """
+
+    removed: bool
+    tombstoned: bool = False
+
+    def __bool__(self) -> bool:
+        return self.removed
 
 
 class BFTree:
@@ -765,23 +792,359 @@ class BFTree:
     def insert(self, key, pid: int) -> None:
         """Algorithm 3: index ``key`` as living on data page ``pid``.
 
-        Splits the target leaf first when it is at key capacity.
+        Splits the target leaf first when the insert would push it past
+        key capacity.  A re-insert of an already-present ``(key, page
+        group)`` pair (detected through the group filter itself) cannot
+        grow ``nkeys`` — see :meth:`BFLeaf.add` — so it never triggers a
+        split.
         """
         leaf = self._descend_and_read(key)
         if leaf is None:
             raise LookupError("insert into an unbuilt tree; bulk_load first")
-        if leaf.nkeys + 1 > leaf.key_capacity:
+        self._insert_into(leaf, key, pid)
+
+    def _insert_into(self, leaf: BFLeaf, key, pid: int,
+                     positions=None, duplicate: bool | None = None) -> bool:
+        """Shared insert tail (after descent charges): split handling,
+        the leaf add, and the CPU/write charges.
+
+        ``positions`` are the key's filter bit positions under ``leaf``'s
+        hash seed (computed here when omitted); ``duplicate`` is a known
+        already-present verdict (the batch path's vectorized pre-test).
+        Returns True when a split restructured the tree — the batch
+        path's signal to re-plan its remaining keys.
+        """
+        if positions is None:
+            positions = leaf.key_positions(key)
+        if duplicate is None:
+            duplicate = leaf.duplicate_prehashed(pid, positions)
+        split = False
+        if not duplicate and leaf.nkeys + 1 > leaf.key_capacity:
             left, right = self._split_leaf(leaf)
             leaf = self._route_after_split(key, left, right)
+            split = True
+            # The split's children hash with fresh structural seeds.
+            positions = None
+            duplicate = None
         try:
-            leaf.add(key, pid)
+            if positions is not None:
+                leaf.add_prehashed(key, pid, positions, duplicate=duplicate)
+            else:
+                leaf.add(key, pid)
         except LeafOverflow:
             left, right = self._split_leaf(leaf)
             target = self._route_after_split(key, left, right)
             self._leaf_add_unchecked(target, key, pid)
             leaf = target
+            split = True
         self._charge_cpu(CPU_BLOOM_INSERT)
         self.store.write(leaf.node_id)
+        return split
+
+    def insert_many(self, keys, pids,
+                    latency_sink: list[float] | None = None) -> None:
+        """Vectorized Algorithm 3 over a whole batch of inserts.
+
+        Leaves the tree in exactly the state ``[self.insert(k, p) for
+        k, p in zip(keys, pids)]`` would — the same leaf structure and
+        filter bitsets (splits included, at the same points), the same
+        ``nkeys``/tombstone bookkeeping, the same IOStats counters and
+        the same simulated clock charges (equal up to float summation
+        order) — but the per-key Python work collapses:
+
+        * the batch is routed in one pass over a flattened directory
+          (:meth:`InnerTree.routing_table`), then grouped by target leaf;
+        * each leaf hashes its key group once
+          (:meth:`BFLeaf.hash_batch`) and pre-tests it against its group
+          filters vectorized;
+        * re-inserts of already-present keys — the steady state of a
+          mixed workload, where inserts re-index live keys — queue per
+          leaf and flush as one chunk that charges the first key
+          normally, then replays the identical charges arithmetically
+          for the rest;
+        * a split invalidates the plan, so every queue is flushed into
+          the pre-split state first and the affected sub-batch (every
+          key not yet applied) is re-routed and re-hashed.
+
+        ``latency_sink``, if given, receives one simulated per-op latency
+        per insert, exactly as the scalar loop would have bracketed them.
+        """
+        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        pids = [int(p) for p in pids]
+        if len(keys) != len(pids):
+            raise ValueError("keys and pids must have the same length")
+        n = len(keys)
+        clock = self._clock()
+        track = latency_sink is not None and clock is not None
+        latencies = [0.0] * n
+        i = 0
+        while i < n:
+            try:
+                pred, paths, rows, dup0, grp = self._plan_writes(
+                    keys, pids, i
+                )
+            except LookupError:
+                raise LookupError(
+                    "insert into an unbuilt tree; bulk_load first"
+                ) from None
+            base = i
+            replan = False
+            # Known duplicate re-inserts commute (no bits change, no
+            # splits, no filter growth), so within one plan round they
+            # can be queued per leaf and charge-aggregated in one flush.
+            # Any other key flushes its own leaf first (it may grow the
+            # leaf's filters or discard tombstones the queued duplicates
+            # interact with), and a key about to *split* flushes every
+            # queue: queued positions precede the split in scalar order,
+            # and their charges must land in the pre-split tree AND
+            # buffer-pool state (a split writes inner nodes, which
+            # evicts them from a warm pool — charges replayed after it
+            # would see misses the scalar loop never paid).  A non-
+            # duplicate add also distrusts the plan's duplicate flags
+            # for its filter group from then on (``dirty``): it set new
+            # bits, which can flip both the membership verdict and the
+            # trust gate for later keys, so those re-test live.
+            fast_dups = self.config.filter_kind != "counting"
+            pending: dict[int, list[int]] = {}
+            dirty: set[tuple[int, int]] = set()
+
+            def flush_leaf(leaf_id: int) -> None:
+                js = pending.pop(leaf_id, None)
+                if js:
+                    self._apply_duplicate_chunk(
+                        self.leaves[leaf_id], paths[leaf_id],
+                        [keys[j] for j in js], [pids[j] for j in js],
+                        js, latencies if track else None,
+                    )
+
+            try:
+                i = self._apply_write_round(
+                    keys, pids, i, n, base, pred, paths, rows,
+                    dup0, grp, fast_dups, pending, dirty, flush_leaf,
+                    clock, track, latencies,
+                )
+            finally:
+                # Queued duplicates precede any aborting key in scalar
+                # order; apply them even when an exception propagates.
+                for leaf_id in list(pending):
+                    flush_leaf(leaf_id)
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
+
+    def _apply_write_round(self, keys, pids, i, n, base, pred, paths,
+                           rows, dup0, grp, fast_dups, pending, dirty,
+                           flush_leaf, clock, track, latencies) -> int:
+        """One plan round of :meth:`insert_many`'s apply loop (split out
+        so the caller can flush the round's pending queues on any exit).
+        Returns the index of the first unapplied key: ``n`` when the
+        batch is done, less when a split demands a re-plan."""
+        while i < n:
+            rel = i - base
+            leaf_id = pred[rel]
+            known_dup = dup0[rel] and (leaf_id, grp[rel]) not in dirty
+            if known_dup and fast_dups:
+                pending.setdefault(leaf_id, []).append(i)
+                i += 1
+                continue
+            leaf = self.leaves[leaf_id]
+            positions = rows[rel].tolist()
+            # Pre-batch flags only say "duplicate"; a negative (or a
+            # dirtied flag) is re-tested live, since earlier keys in
+            # the batch may have set these bits.
+            duplicate = True if known_dup else None
+            will_split = False
+            if duplicate is None:
+                try:
+                    duplicate = leaf.duplicate_prehashed(pids[i], positions)
+                except ValueError:
+                    # pid precedes the leaf range: the add will raise
+                    # after the descent charges, as the scalar does.
+                    duplicate = None
+                if duplicate is False:
+                    group = leaf.group_of(pids[i])
+                    will_split = (
+                        group >= leaf.geometry.max_filters
+                        or leaf.nkeys + 1 > leaf.key_capacity
+                    )
+            if will_split:
+                for lid in list(pending):
+                    flush_leaf(lid)
+            else:
+                flush_leaf(leaf_id)
+            start = clock.now() if track else 0.0
+            self._charge_descent(leaf, paths[leaf_id])
+            split = self._insert_into(
+                leaf, keys[i], pids[i],
+                positions=positions, duplicate=duplicate,
+            )
+            dirty.add((leaf_id, grp[rel]))
+            if track:
+                latencies[i] = clock.now() - start
+            i += 1
+            if split:
+                break
+        return i
+
+    def _plan_writes(self, keys, pids, start: int):
+        """Route ``keys[start:]`` structurally and hash once per leaf.
+
+        Returns ``(pred, paths, rows, dup0, grp)`` — per-key predicted
+        leaf id, per-leaf descent paths, per-key filter position rows,
+        per-key pre-batch duplicate flags (membership *and* the
+        filter-trust gate, both monotone under adds), and per-key
+        filter group (-1 when the pid precedes the leaf range).  No I/O
+        is charged here: the apply loop replays each key's descent
+        charges itself.  Valid until the next split; a flag for a group
+        later written by a non-duplicate add is invalidated by the
+        apply loop's dirty-set.
+        """
+        fences, leaf_ids, paths = self.inner.routing_table()
+        sub = keys[start:]
+        m = len(sub)
+        arr = np.asarray(sub)
+        numeric = arr.dtype.kind in "iufb"
+        if fences and m:
+            if numeric:
+                slots = np.searchsorted(np.asarray(fences), arr,
+                                        side="right")
+            else:
+                slots = np.asarray(
+                    [bisect.bisect_right(fences, k) for k in sub]
+                )
+        else:
+            slots = np.zeros(m, dtype=np.int64)
+        pred = [leaf_ids[s] for s in slots.tolist()]
+        pids_sub = np.asarray(pids[start:], dtype=np.int64)
+        rows: list = [None] * m
+        dup0 = np.zeros(m, dtype=bool)
+        grp = np.full(m, -1, dtype=np.int64)
+        # Group keys by target leaf with one stable argsort (slot value
+        # <-> leaf is 1:1), instead of a per-key dict pass.
+        order = np.argsort(slots, kind="stable")
+        sorted_slots = slots[order]
+        if m:
+            bounds = np.nonzero(
+                np.r_[True, sorted_slots[1:] != sorted_slots[:-1]]
+            )[0].tolist() + [m]
+        else:
+            bounds = [0]
+        for b0, b1 in zip(bounds, bounds[1:]):
+            idxs = order[b0:b1]
+            leaf = self.leaves[leaf_ids[int(sorted_slots[b0])]]
+            positions = leaf.hash_batch(arr[idxs])
+            for r, idx in enumerate(idxs.tolist()):
+                rows[idx] = positions[r]
+            pid_arr = pids_sub[idxs]
+            groups = (pid_arr - leaf.min_pid) // leaf.geometry.pages_per_bf
+            grp[idxs[pid_arr >= leaf.min_pid]] = \
+                groups[pid_arr >= leaf.min_pid]
+            if not leaf.filters:
+                continue
+            valid = (pid_arr >= leaf.min_pid) & (groups < leaf.nfilters)
+            vrows = np.nonzero(valid)[0]
+            if not len(vrows):
+                continue
+            # A filter degraded past the trust ceiling no longer counts
+            # as duplicate evidence (see BFLeaf.duplicate_prehashed);
+            # fill only grows, so distrust is monotone like membership.
+            if leaf.geometry.filter_kind == "counting":
+                by_group: dict[int, list[int]] = {}
+                for r in vrows.tolist():
+                    by_group.setdefault(int(groups[r]), []).append(r)
+                for group, rs in by_group.items():
+                    filt = leaf.filters[group]
+                    if filt.effective_fpp() > DUPLICATE_TRUST_MAX_FPP:
+                        continue
+                    flags = filt.test_positions(positions[rs])
+                    for r, flag in zip(rs, flags):
+                        dup0[idxs[r]] = bool(flag)
+            else:
+                # One gather across all of the leaf's filters at once:
+                # same geometry => same word count per filter.  The
+                # per-filter fill (for the trust gate) comes from one
+                # vectorized popcount over the same matrix, with the
+                # exact float expression BloomFilter.effective_fpp uses.
+                words = np.stack([f._words for f in leaf.filters])
+                proto = leaf.filters[0]
+                bits_set = np.unpackbits(
+                    words.view(np.uint8), axis=1
+                ).sum(axis=1)
+                fill = bits_set / proto.nbits
+                trust = fill ** proto.k <= DUPLICATE_TRUST_MAX_FPP
+                pos = positions[vrows]
+                g = groups[vrows]
+                gathered = words[g[:, None], pos >> 6]
+                bits = (gathered >> (pos & 63).astype(np.uint64)) \
+                    & np.uint64(1)
+                dup0[idxs[vrows]] = bits.all(axis=1) & trust[g]
+        return pred, paths, rows, dup0.tolist(), grp.tolist()
+
+    def _charge_descent(self, leaf: BFLeaf, path: list[int]) -> None:
+        """Replay the exact charges of ``_descend_and_read`` for a key
+        whose target leaf (and internal path) is already known."""
+        for node_id in path:
+            self.store.read(node_id)
+        self._charge_cpu(
+            len(path) * math.log2(max(2, self.inner.fanout)) * CPU_KEY_COMPARE
+        )
+        self.store.read(leaf.node_id)
+        extra_pages = self._leaf_index_pages(leaf) - 1
+        for _ in range(extra_pages):
+            self.store.read(leaf.node_id, sequential=True)
+
+    def _apply_duplicate_chunk(self, leaf: BFLeaf, path: list[int],
+                               chunk_keys, chunk_pids, js,
+                               latencies: list[float] | None) -> None:
+        """Apply a chunk of known re-inserts of already-present keys to
+        one leaf (plain filters) in one pass.
+
+        Duplicates change no filter bits, never split, and never grow
+        the filter list, so every key charges the identical descent +
+        CPU + leaf write sequence: the first key runs through the real
+        charging calls (pool behaviour included) and is measured; the
+        remaining ``m - 1`` replay that measurement arithmetically
+        (clock totals then differ from the scalar loop only by float
+        summation order; IOStats stay exact).  Bookkeeping (filter add
+        multiplicity, key range, page coverage, tombstone clearing) is
+        applied in bulk — all of it commutative, so order inside the
+        chunk cannot matter.  ``js`` are the keys' batch indices, for
+        the latency scatter.
+        """
+        m = len(chunk_keys)
+        clock = self._clock()
+        stats = self._stats()
+        before = stats.snapshot() if stats is not None and m > 1 else None
+        t0 = clock.now() if clock is not None else 0.0
+        self._charge_descent(leaf, path)
+        self._charge_cpu(CPU_BLOOM_INSERT)
+        self.store.write(leaf.node_id)
+        dt = clock.now() - t0 if clock is not None else 0.0
+        if m > 1:
+            if clock is not None:
+                clock.advance(dt * (m - 1))
+            if stats is not None:
+                delta = stats.diff(before)
+                for f in fields(delta):
+                    setattr(stats, f.name, getattr(stats, f.name)
+                            + (m - 1) * getattr(delta, f.name))
+        ppb = leaf.geometry.pages_per_bf
+        min_pid = leaf.min_pid
+        filters = leaf.filters
+        for pid in chunk_pids:
+            filters[(pid - min_pid) // ppb].count += 1
+        leaf.pages_covered = max(
+            leaf.pages_covered, max(chunk_pids) - min_pid + 1
+        )
+        lo, hi = min(chunk_keys), max(chunk_keys)
+        if leaf.min_key is None or lo < leaf.min_key:
+            leaf.min_key = lo
+        if leaf.max_key is None or hi > leaf.max_key:
+            leaf.max_key = hi
+        if leaf.deleted_keys:
+            leaf.deleted_keys.difference_update(chunk_keys)
+        if latencies is not None:
+            for j in js:
+                latencies[j] = dt
 
     @staticmethod
     def _route_after_split(key, left: BFLeaf, right: BFLeaf) -> BFLeaf:
@@ -811,7 +1174,7 @@ class BFTree:
         self._charge_cpu(CPU_BLOOM_INSERT)
         self.store.write(leaf.node_id)
 
-    def delete(self, key, pid: int | None = None) -> bool:
+    def delete(self, key, pid: int | None = None) -> DeleteOutcome:
         """Delete ``key`` from the index (paper §7).
 
         With plain filters the key lands on the leaf's deleted list,
@@ -819,17 +1182,105 @@ class BFTree:
         would.  With ``filter_kind="counting"`` and ``pid`` given, the
         counters of the filter covering that page are decremented — a
         true in-place delete with no tombstone growth.
+
+        A counting-filter tree deleted *without* ``pid`` cannot decrement
+        safely (the key's page group is unknown) and falls back to the
+        tombstone list; the returned :class:`DeleteOutcome` surfaces that
+        through ``tombstoned=True``, so Figure-14-style fpp accounting
+        can tell the two §7 delete mechanisms apart instead of silently
+        mixing them.  The outcome is truthy iff the key was removed.
         """
         leaf = self._descend_and_read(key)
         if leaf is None or not leaf.covers_key(key):
-            return False
+            return DeleteOutcome(removed=False)
+        return self._delete_from(leaf, key, pid)
+
+    def _delete_from(self, leaf: BFLeaf, key, pid: int | None,
+                     positions=None) -> DeleteOutcome:
+        """Shared delete tail (after descent charges and the covers check)."""
         if self.config.filter_kind == "counting" and pid is not None:
-            removed = leaf.remove_key(key, pid)
+            if positions is None:
+                positions = leaf.key_positions(key)
+            outcome = DeleteOutcome(
+                removed=leaf.remove_key_prehashed(pid, positions),
+                tombstoned=False,
+            )
         else:
             leaf.mark_deleted(key)
-            removed = True
+            outcome = DeleteOutcome(removed=True, tombstoned=True)
         self.store.write(leaf.node_id)
-        return removed
+        return outcome
+
+    def delete_many(self, keys, pids=None,
+                    latency_sink: list[float] | None = None
+                    ) -> list[DeleteOutcome]:
+        """Batch :meth:`delete` — bit-identical outcomes, tree state,
+        IOStats and clock charges versus the scalar loop.
+
+        ``pids`` is a parallel sequence of data page ids (entries may be
+        None), meaningful for counting-filter trees, where each leaf then
+        hashes its key group once instead of k Python hash rounds per
+        key.  Deletes never restructure the tree, so one routing pass
+        covers the whole batch.  ``latency_sink`` receives per-op
+        simulated latencies, as the scalar loop would bracket them.
+        """
+        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        n = len(keys)
+        if pids is None:
+            pids = [None] * n
+        else:
+            pids = [None if p is None else int(p) for p in pids]
+        if len(pids) != n:
+            raise ValueError("keys and pids must have the same length")
+        clock = self._clock()
+        track = latency_sink is not None and clock is not None
+        latencies = [0.0] * n
+        outcomes: list[DeleteOutcome] = [DeleteOutcome(removed=False)] * n
+        try:
+            fences, leaf_ids, paths = self.inner.routing_table()
+        except LookupError:
+            # Empty tree: scalar delete reports not-found per key.
+            if latency_sink is not None:
+                latency_sink.extend(latencies)
+            return outcomes
+        prehash = self.config.filter_kind == "counting"
+        if fences:
+            arr = np.asarray(keys)
+            if arr.dtype.kind in "iufb":
+                slots = np.searchsorted(
+                    np.asarray(fences), arr, side="right"
+                ).tolist()
+            else:
+                slots = [bisect.bisect_right(fences, k) for k in keys]
+        else:
+            slots = [0] * n
+        rows: list = [None] * n
+        if prehash:
+            by_leaf: dict[int, list[int]] = {}
+            for j, s in enumerate(slots):
+                if pids[j] is not None:
+                    by_leaf.setdefault(leaf_ids[s], []).append(j)
+            for leaf_id, js in by_leaf.items():
+                positions = self.leaves[leaf_id].hash_batch(
+                    [keys[j] for j in js]
+                )
+                for r, j in enumerate(js):
+                    rows[j] = positions[r]
+        for j, key in enumerate(keys):
+            leaf = self.leaves[leaf_ids[slots[j]]]
+            start = clock.now() if track else 0.0
+            self._charge_descent(leaf, path=paths[leaf.node_id])
+            if leaf.covers_key(key):
+                row = rows[j]
+                outcomes[j] = self._delete_from(
+                    leaf, key, pids[j],
+                    positions=row.tolist() if row is not None else None,
+                )
+            if track:
+                latencies[j] = clock.now() - start
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
+        return outcomes
 
     def _split_leaf(self, leaf: BFLeaf) -> tuple[BFLeaf, BFLeaf]:
         """Algorithm 2: split ``leaf`` into two, rebuilding its filters.

@@ -143,10 +143,30 @@ class BloomFilter:
     # ------------------------------------------------------------------
     def add(self, key: object) -> None:
         """Insert ``key`` (no-op on the bit level if all bits already set)."""
+        self.add_positions(
+            bloom_positions(key_to_int(key), self.k, self.nbits, self.seed)
+        )
+
+    def add_positions(self, positions) -> None:
+        """Insert one key given its precomputed k bit positions.
+
+        The scatter half of :meth:`add`: a BF-leaf that adds a key batch
+        to several same-geometry filters hashes the batch once
+        (:func:`~repro.core.hashing.bloom_positions_batch`) and feeds each
+        filter only the rows it owns.
+        """
         words = self._words
-        for pos in bloom_positions(key_to_int(key), self.k, self.nbits, self.seed):
+        for pos in positions:
             words[pos >> 6] |= _BIT[pos & 63]
         self.count += 1
+
+    def contains_positions(self, positions) -> bool:
+        """Membership test of one key's precomputed k bit positions."""
+        words = self._words
+        for pos in positions:
+            if not (int(words[pos >> 6]) >> (pos & 63)) & 1:
+                return False
+        return True
 
     def bulk_add(self, keys) -> None:
         """Insert a NumPy array of integer keys in one vectorized pass.
@@ -162,13 +182,22 @@ class BloomFilter:
         np.bitwise_or.at(self._words, flat >> 6, _BIT[flat & 63])
         self.count += len(keys)
 
+    def add_many(self, keys) -> None:
+        """Vectorized :meth:`add` of a batch of arbitrary keys.
+
+        Canonicalizes the batch (:func:`keys_to_int_array`), hashes it in
+        one pass and scatters all bits with NumPy; bit-for-bit identical
+        to a scalar :meth:`add` loop over the same keys.
+        """
+        if len(keys) == 0:
+            return
+        self.bulk_add(keys_to_int_array(keys))
+
     def might_contain(self, key: object) -> bool:
         """Membership test: False is definite, True may be a false positive."""
-        words = self._words
-        for pos in bloom_positions(key_to_int(key), self.k, self.nbits, self.seed):
-            if not (int(words[pos >> 6]) >> (pos & 63)) & 1:
-                return False
-        return True
+        return self.contains_positions(
+            bloom_positions(key_to_int(key), self.k, self.nbits, self.seed)
+        )
 
     __contains__ = might_contain
 

@@ -213,6 +213,43 @@ class InnerTree:
                 return child, path
             node = self.nodes[child]
 
+    def routing_table(self) -> tuple[list, list[int], dict[int, list[int]]]:
+        """Flattened descent: ``(fences, leaf_ids, paths)``.
+
+        ``descend(key)`` lands on ``leaf_ids[bisect_right(fences, key)]``
+        through internal path ``paths[leaf_id]`` — the same rightmost-
+        biased routing :meth:`InternalNode.child_for` performs, with the
+        per-level binary searches collapsed into one sorted fence list.
+        The batch write path uses this to route a whole key batch in one
+        vectorized pass (and to replay each key's descent I/O charges
+        without re-walking the tree).  The table is a snapshot: any
+        structural change (a split) invalidates it.
+
+        Raises ``LookupError`` on an empty tree, like :meth:`descend`.
+        """
+        if self.root_id is None:
+            if self._single_leaf is None:
+                raise LookupError("empty tree")
+            return [], [self._single_leaf], {self._single_leaf: []}
+        fences: list = []
+        leaf_ids: list[int] = []
+        paths: dict[int, list[int]] = {}
+
+        def walk(node_id: int, path: list[int]) -> None:
+            node = self.nodes[node_id]
+            path = path + [node_id]
+            for i, child in enumerate(node.children):
+                if i > 0:
+                    fences.append(node.keys[i - 1])
+                if node.level == 1:
+                    leaf_ids.append(child)
+                    paths[child] = path
+                else:
+                    walk(child, path)
+
+        walk(self.root_id, [])
+        return fences, leaf_ids, paths
+
     def iter_leaf_ids(self) -> list[int]:
         """All leaf ids left-to-right (no I/O charged; structural walk)."""
         if self.root_id is None:

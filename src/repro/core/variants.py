@@ -77,11 +77,27 @@ class CountingBloomFilter:
     # ------------------------------------------------------------------
     def add(self, key: object) -> None:
         """Insert ``key`` (counters saturate rather than overflow)."""
+        self.add_positions(self._positions(key))
+
+    def add_positions(self, positions) -> None:
+        """Insert one key given its precomputed k counter positions.
+
+        Counterpart of :meth:`BloomFilter.add_positions`, so a BF-leaf's
+        batch write path can hash once per leaf for either filter kind.
+        Unlike a plain filter, a duplicate insert is *not* a no-op: the
+        counters increment again (and decrement again on remove).
+        """
+        counters = self._counters
         cap = self._max_count
-        for pos in self._positions(key):
-            if self._counters[pos] < cap:
-                self._counters[pos] += 1
+        for pos in positions:
+            if counters[pos] < cap:
+                counters[pos] += 1
         self.count += 1
+
+    def contains_positions(self, positions) -> bool:
+        """Membership test of one key's precomputed positions."""
+        counters = self._counters
+        return all(counters[pos] > 0 for pos in positions)
 
     def remove(self, key: object) -> bool:
         """Delete one occurrence of ``key``.
@@ -91,18 +107,22 @@ class CountingBloomFilter:
         skipped — the classic safe-under-saturation rule — which can leave
         residual bits but never introduces false negatives.
         """
-        positions = self._positions(key)
-        if any(self._counters[pos] == 0 for pos in positions):
+        return self.remove_positions(self._positions(key))
+
+    def remove_positions(self, positions) -> bool:
+        """:meth:`remove` given one key's precomputed positions."""
+        counters = self._counters
+        if any(counters[pos] == 0 for pos in positions):
             return False
         cap = self._max_count
         for pos in positions:
-            if self._counters[pos] < cap:
-                self._counters[pos] -= 1
+            if counters[pos] < cap:
+                counters[pos] -= 1
         self.count = max(0, self.count - 1)
         return True
 
     def might_contain(self, key: object) -> bool:
-        return all(self._counters[pos] > 0 for pos in self._positions(key))
+        return self.contains_positions(self._positions(key))
 
     __contains__ = might_contain
 

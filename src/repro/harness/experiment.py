@@ -238,6 +238,7 @@ class ServiceReport:
     batch: bool
     threads: int | None
     stats: ServiceStats
+    write_batch: bool = True
     results: list = field(repr=False, default_factory=list)
 
     @property
@@ -254,6 +255,7 @@ class ServiceReport:
             "mix": self.mix,
             "skew": self.skew,
             "batch": self.batch,
+            "write_batch": self.write_batch,
             "threads": self.threads,
             **self.stats.to_dict(),
         }
@@ -267,22 +269,26 @@ def run_service(
     batch: bool = True,
     batch_size: int = 512,
     threads: int | None = None,
+    write_batch: bool | None = None,
 ) -> ServiceReport:
     """Replay a mixed workload trace through a sharded index service.
 
     Binds every shard to a fresh storage stack of ``config``, routes the
     trace through a :class:`~repro.service.router.Router` (reads batched
-    through the vectorized probe engine unless ``batch=False``;
-    ``threads`` enables concurrent shard replay), and returns a
-    :class:`ServiceReport` whose :class:`ServiceStats` carries merged
-    IOStats, per-op latency percentiles, simulated makespan throughput
-    (shards progress in parallel, so the service finishes with its
-    slowest shard) and replay wall time.
+    through the vectorized probe engine unless ``batch=False``; inserts
+    batched through the vectorized write engine — ``write_batch``
+    defaults to following ``batch``; ``threads`` enables concurrent
+    shard replay), and returns a :class:`ServiceReport` whose
+    :class:`ServiceStats` carries merged IOStats, per-op latency
+    percentiles, simulated makespan throughput (shards progress in
+    parallel, so the service finishes with its slowest shard) and
+    replay wall time.  Both batch modes are bit-identical to per-op
+    dispatch in every simulated number.
     """
     service.bind(config, warm=warm)
     try:
         router = Router(service, batch=batch, batch_size=batch_size,
-                        threads=threads)
+                        threads=threads, write_batch=write_batch)
         results, stats = router.replay(trace)
     finally:
         service.unbind()
@@ -293,6 +299,7 @@ def run_service(
         mix=trace.mix.name,
         skew=trace.skew,
         batch=batch,
+        write_batch=router.write_batch,
         threads=threads,
         stats=stats,
         results=results,

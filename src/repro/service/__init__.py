@@ -4,9 +4,9 @@ The production-facing subsystem: a :class:`ShardedIndex` range-partitions
 one indexed column across N independent shards (each with its own
 device/clock/buffer-pool stack), a :class:`Router` splits mixed
 read/insert/scan batches per shard and dispatches them through the
-vectorized batch-probe engine (optionally on a thread pool), and
-:class:`ServiceStats` merges per-shard IOStats and folds per-op
-simulated latencies into p50/p95/p99 summaries.
+vectorized batch-probe *and* batch-write engines (optionally on a
+thread pool), and :class:`ServiceStats` merges per-shard IOStats and
+folds per-op simulated latencies into p50/p95/p99 summaries.
 """
 
 from repro.service.router import Router

@@ -7,7 +7,12 @@ per-shard work lists and replays them:
   one shard flow through the shard's vectorized ``search_many`` (the
   PR-1 batch-probe engine), with the per-op latency sink recovering the
   exact scalar latencies for the percentile report;
-* inserts and scans are executed in place, clock-bracketed per op;
+* inserts are **write-batched** the same way: consecutive inserts on
+  one shard flush through ``insert_many`` (the vectorized batch write
+  engine), with per-op latencies from its sink; a read or scan arrival
+  flushes the write buffer first, so an operation issued after an
+  insert always observes it (read-your-writes order is preserved);
+* scans are executed in place, clock-bracketed per op;
 * a scan whose window spans multiple shards is split into per-shard
   legs (scatter-gather); its latency is the *sum* of its legs'
   simulated time, and its result merges the legs' counts.
@@ -56,7 +61,11 @@ class Router:
         batch: bool = True,
         batch_size: int = 512,
         threads: int | None = None,
+        write_batch: bool | None = None,
     ) -> None:
+        """``batch`` controls read batching; ``write_batch`` controls
+        insert batching and defaults to following ``batch``.  Both modes
+        produce bit-identical simulated results to per-op dispatch."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if threads is not None and threads < 1:
@@ -65,6 +74,7 @@ class Router:
         self.batch = batch
         self.batch_size = batch_size
         self.threads = threads
+        self.write_batch = batch if write_batch is None else write_batch
 
     # ------------------------------------------------------------------
     # planning
@@ -170,6 +180,7 @@ class Router:
         clock = shard.stack.clock
         out: list[tuple[int, int, float, object]] = []
         read_buffer: list[_SubOp] = []
+        write_buffer: list[_SubOp] = []
 
         def flush_reads() -> None:
             if not read_buffer:
@@ -194,17 +205,49 @@ class Router:
                         )
             read_buffer.clear()
 
+        def flush_writes() -> None:
+            if not write_buffer:
+                return
+            for start in range(0, len(write_buffer), self.batch_size):
+                chunk = write_buffer[start : start + self.batch_size]
+                if self.write_batch:
+                    sink: list[float] = []
+                    self.service.insert_many_on(
+                        shard,
+                        [op.key for op in chunk],
+                        [op.tid for op in chunk],
+                        latency_sink=sink,
+                    )
+                    for op, latency in zip(chunk, sink):
+                        out.append((op.op_index, op.code, latency, None))
+                else:
+                    for op in chunk:
+                        begin = clock.now()
+                        self.service.insert_on(shard, op.key, op.tid)
+                        out.append(
+                            (op.op_index, op.code, clock.now() - begin,
+                             None)
+                        )
+            write_buffer.clear()
+
+        # At most one buffer is ever non-empty: an op of the other kind
+        # flushes it first, which keeps per-shard trace order (a read
+        # issued after an insert observes it, and vice versa).
         for op in subops:
             if op.code == OP_READ:
+                flush_writes()
                 read_buffer.append(op)
-                continue
-            flush_reads()
-            begin = clock.now()
-            if op.code == OP_INSERT:
-                self.service.insert_on(shard, op.key, op.tid)
-                result: object = None
+            elif op.code == OP_INSERT:
+                flush_reads()
+                write_buffer.append(op)
             else:
+                flush_reads()
+                flush_writes()
+                begin = clock.now()
                 result = index.range_scan(op.sub_lo, op.sub_hi)
-            out.append((op.op_index, op.code, clock.now() - begin, result))
+                out.append(
+                    (op.op_index, op.code, clock.now() - begin, result)
+                )
         flush_reads()
+        flush_writes()
         return out

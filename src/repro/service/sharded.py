@@ -58,7 +58,9 @@ class Shard:
 
     index: BFTree | BPlusTree
     lo_key: object          # smallest routable key (None = open left end)
-    hi_key: object          # largest key at build time (scan clamping)
+    hi_key: object          # largest key at build time (introspection only;
+                            # scans clamp to the routing boundary, which
+                            # also covers keys inserted past hi_key)
     stack: StorageStack | None = None
 
     @property
@@ -214,7 +216,18 @@ class ShardedIndex:
         return int(self.route(np.asarray([key]))[0])
 
     def scan_plan(self, lo, hi) -> list[tuple[int, object, object]]:
-        """(shard, sub_lo, sub_hi) legs of a range scan over [lo, hi]."""
+        """(shard, sub_lo, sub_hi) legs of a range scan over [lo, hi].
+
+        Middle legs (every shard but the last) are clamped to the
+        *routing boundary* — the next shard's ``lo_key`` — not to the
+        shard's build-time ``hi_key``: inserts route any key below the
+        boundary to this shard, so clamping at the build-time maximum
+        would silently drop keys inserted between ``hi_key`` and the
+        boundary from cross-shard scans.  A shard can never hold a key
+        ``>=`` the boundary (the router sends those to its neighbour),
+        so consecutive legs sharing the boundary value cannot count
+        anything twice.
+        """
         if lo > hi:
             raise ValueError(f"empty range: lo={lo} > hi={hi}")
         s_lo = self.route_key(lo)
@@ -223,7 +236,7 @@ class ShardedIndex:
         for s in range(s_lo, s_hi + 1):
             shard = self.shards[s]
             sub_lo = lo if s == s_lo else shard.lo_key
-            sub_hi = hi if s == s_hi else shard.hi_key
+            sub_hi = hi if s == s_hi else self.shards[s + 1].lo_key
             if sub_lo is None:
                 sub_lo = lo
             if sub_lo <= sub_hi:
@@ -276,6 +289,95 @@ class ShardedIndex:
             shard.index.insert(key, self.relation.page_of(int(tid)))
         else:
             shard.index.insert(key, int(tid))
+
+    def insert_many(self, keys, tids,
+                    latency_sink: list[float] | None = None) -> None:
+        """Vectorized batch insert: route the whole batch in one pass,
+        then drive each shard's slice through its ``insert_many``.
+
+        Bit-identical to per-key :meth:`insert` calls in trace order —
+        each shard receives its keys in input order and the shards share
+        no state, so the interleaving across shards cannot matter.
+        ``latency_sink`` receives per-op simulated latencies aligned
+        with ``keys``.
+        """
+        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        assign = self.route(keys)
+        latencies = [0.0] * len(keys)
+        for s, shard in enumerate(self.shards):
+            idx = np.nonzero(assign == s)[0]
+            if not len(idx):
+                continue
+            sub_sink: list[float] | None = (
+                [] if latency_sink is not None else None
+            )
+            self.insert_many_on(
+                shard,
+                [keys[i] for i in idx],
+                [int(tids[i]) for i in idx],
+                latency_sink=sub_sink,
+            )
+            if sub_sink is not None:
+                for j, i in enumerate(idx):
+                    latencies[i] = sub_sink[j]
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
+
+    def insert_many_on(self, shard: Shard, keys, tids,
+                       latency_sink: list[float] | None = None) -> None:
+        """Batch :meth:`insert_on` for an already-routed key group —
+        the Router's write-batching entry point."""
+        if self.kind == "bf":
+            pids = [self.relation.page_of(int(t)) for t in tids]
+            shard.index.insert_many(keys, pids, latency_sink=latency_sink)
+        else:
+            shard.index.insert_many(
+                keys, [int(t) for t in tids], latency_sink=latency_sink
+            )
+
+    def delete_many(self, keys, tids=None,
+                    latency_sink: list[float] | None = None) -> list:
+        """Batch delete, routed like :meth:`insert_many`.
+
+        ``tids`` (tuple ids, translated to page ids for BF shards) enable
+        the counting-filter in-place path; outcomes come back aligned
+        with ``keys`` (:class:`~repro.core.bf_tree.DeleteOutcome` for BF
+        shards, bool for the B+-Tree baseline).
+        """
+        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        n = len(keys)
+        tids = [None] * n if tids is None else list(tids)
+        assign = self.route(keys)
+        outcomes: list = [None] * n
+        latencies = [0.0] * n
+        for s, shard in enumerate(self.shards):
+            idx = np.nonzero(assign == s)[0]
+            if not len(idx):
+                continue
+            sub_keys = [keys[i] for i in idx]
+            sub_tids = [tids[i] for i in idx]
+            sub_sink: list[float] | None = (
+                [] if latency_sink is not None else None
+            )
+            if self.kind == "bf":
+                pids = [
+                    None if t is None else self.relation.page_of(int(t))
+                    for t in sub_tids
+                ]
+                shard_out = shard.index.delete_many(
+                    sub_keys, pids, latency_sink=sub_sink
+                )
+            else:
+                shard_out = shard.index.delete_many(
+                    sub_keys, sub_tids, latency_sink=sub_sink
+                )
+            for j, i in enumerate(idx):
+                outcomes[i] = shard_out[j]
+                if sub_sink is not None:
+                    latencies[i] = sub_sink[j]
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
+        return outcomes
 
     def range_scan(self, lo, hi) -> RangeScanResult:
         """Scatter-gather scan: every overlapping shard scans its slice."""

@@ -103,6 +103,48 @@ class TestAdd:
         leaf.add_page_keys(np.empty(0, dtype=np.int64), 0)
         assert leaf.nkeys == 0
 
+    def test_duplicate_reinsert_does_not_inflate_nkeys(self):
+        """Regression: re-adding an already-present (key, page) pair used
+        to bump nkeys even though no filter bit changed, inflating the
+        leaf toward a premature split."""
+        leaf = _leaf()
+        leaf.add(42, 0)
+        bits = leaf.filters[0]._bits
+        assert leaf.add(42, 0) is False       # did not grow
+        assert leaf.nkeys == 1
+        assert leaf.filters[0]._bits == bits  # bit-level no-op
+        assert leaf.filters[0].count == 2     # multiplicity still recorded
+        # A different page group is a new (key, group) insertion.
+        assert leaf.add(42, 1) is True
+        assert leaf.nkeys == 2
+
+    def test_extra_inserts_reconciled_across_paths(self):
+        """add and add_page_keys agree: overflow is always
+        nkeys - key_capacity, however the leaf got there."""
+        leaf = _leaf(max_filters=4)
+        capacity = leaf.key_capacity
+        bulk = np.arange(capacity + 5, dtype=np.int64)
+        leaf.add_page_keys(bulk, 0)
+        assert leaf.extra_inserts == leaf.nkeys - capacity
+        for i in range(7):
+            leaf.add(10**6 + i, 1)            # novel keys via scalar path
+        assert leaf.extra_inserts == leaf.nkeys - capacity
+
+    def test_add_many_matches_scalar_adds(self):
+        scalar, batch = _leaf(), _leaf()
+        keys = [5, 9, 5, 700, 9, 12, 5]
+        pids = [0, 0, 0, 2, 1, 2, 0]
+        grew_scalar = sum(scalar.add(k, p) for k, p in zip(keys, pids))
+        grew_batch = batch.add_many(keys, pids)
+        assert grew_batch == grew_scalar
+        assert scalar.nkeys == batch.nkeys
+        assert scalar.extra_inserts == batch.extra_inserts
+        assert (scalar.min_key, scalar.max_key) == (batch.min_key,
+                                                    batch.max_key)
+        assert scalar.pages_covered == batch.pages_covered
+        assert [(f.count, f._bits) for f in scalar.filters] == \
+               [(f.count, f._bits) for f in batch.filters]
+
 
 class TestProbing:
     def test_matching_groups_finds_inserted(self):

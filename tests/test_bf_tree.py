@@ -144,23 +144,52 @@ class TestInsert:
             rel, "pk", BFTreeConfig(fpp=1e-3), unique=True
         )
         before = tree.n_leaves
-        leaf = tree.leaves_in_order()[0]
+        leaf = tree.leaves_in_order()[-1]
         headroom = leaf.key_capacity - leaf.nkeys
-        # Re-index keys at their true pages until the leaf passes capacity.
-        for i in range(headroom + 10):
-            key = int(keys[i % leaf.max_key])
-            tree.insert(key, rel.page_of(key))
+        # Insert *novel* keys (beyond the domain, routed to the last
+        # leaf).  Pids stay order-consistent with the keys — the top few
+        # pages of the live last leaf — and are spread over several
+        # filters so no single one saturates into swallowing the novel
+        # keys as false duplicates.
+        for i in range(3 * (headroom + 10)):
+            cur = tree.leaves_in_order()[-1]
+            tree.insert(4096 + i,
+                        cur.max_pid - (i % min(16, cur.pages_covered)))
+            if tree.n_leaves > before:
+                break
         assert tree.n_leaves > before
+
+    def test_duplicate_reinserts_never_split(self):
+        """Regression: re-indexing already-present keys used to inflate
+        nkeys and trigger premature splits through the capacity
+        pre-check, even though the filter bits never changed."""
+        keys = np.arange(4096, dtype=np.int64)
+        rel = Relation({"pk": keys}, tuple_size=256)
+        tree = BFTree.bulk_load(
+            rel, "pk", BFTreeConfig(fpp=1e-3), unique=True
+        )
+        before = tree.n_leaves
+        leaf = tree.leaves_in_order()[0]
+        nkeys_before = leaf.nkeys
+        for _ in range(3):
+            for key in range(leaf.min_key, leaf.max_key + 1, 7):
+                tree.insert(key, rel.page_of(key))
+        assert tree.n_leaves == before
+        assert leaf.nkeys == nkeys_before
 
     def test_insert_overflow_degrades_fpp(self, pk_relation):
         tree = _pk_tree(pk_relation, fpp=0.01)
-        leaf = tree.leaves_in_order()[0]
-        span = leaf.max_key - leaf.min_key + 1
-        # Re-index the leaf's own keys (at their true pages) well past
-        # its nominal capacity, without splitting.
-        for i in range(leaf.key_capacity):
-            key = leaf.min_key + (i % span)
-            tree.insert_overflow(key, pk_relation.page_of(key))
+        leaf = tree.leaves_in_order()[-1]
+        assert leaf.effective_fpp() == pytest.approx(0.01)
+        # Index novel keys (beyond the domain, landing on the last leaf,
+        # spread over its pages) well past its nominal capacity, without
+        # splitting: Equation 14 then governs the leaf's effective fpp.
+        for i in range(2 * leaf.key_capacity):
+            tree.insert_overflow(
+                8192 + i, leaf.min_pid + (i % leaf.pages_covered)
+            )
+        assert leaf.extra_inserts > 0
+        assert leaf.effective_fpp() > 0.01
         assert tree.effective_fpp() > 0.01
 
     def test_insert_into_empty_tree_raises(self, pk_relation):

@@ -71,7 +71,8 @@ class TestDeletes:
         )
         key = 500
         assert tree.search(key).found
-        assert tree.delete(key, pid=pk_relation.page_of(key))
+        outcome = tree.delete(key, pid=pk_relation.page_of(key))
+        assert outcome.removed and not outcome.tombstoned
         assert not tree.search(key).found
 
     def test_no_tombstone_created(self, pk_relation):
@@ -92,12 +93,33 @@ class TestDeletes:
             assert tree.search(key).found, key
 
     def test_delete_without_pid_falls_back_to_tombstone(self, pk_relation):
+        """No pid on a counting tree: the in-place decrement is
+        impossible, and the outcome *surfaces* the tombstone fallback
+        instead of silently skewing the §7 fpp accounting."""
         tree = BFTree.bulk_load(
             pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
             unique=True,
         )
-        assert tree.delete(600)        # no pid: tombstone path
+        outcome = tree.delete(600)     # no pid: tombstone path
+        assert outcome.removed and outcome.tombstoned
         assert not tree.search(600).found
+        # The fallback grew a tombstone list, unlike the in-place path.
+        assert any(leaf.deleted_keys for leaf in tree.leaves.values())
+
+    def test_delete_outcome_distinguishes_mechanisms(self, pk_relation):
+        """Both §7 delete branches, side by side, on one tree."""
+        tree = BFTree.bulk_load(
+            pk_relation, "pk", BFTreeConfig(fpp=1e-3, filter_kind="counting"),
+            unique=True,
+        )
+        inplace = tree.delete(700, pid=pk_relation.page_of(700))
+        fallback = tree.delete(701)
+        missing = tree.delete(10**9)
+        assert inplace.removed and not inplace.tombstoned
+        assert fallback.removed and fallback.tombstoned
+        assert not missing.removed and not missing.tombstoned
+        assert not tree.search(700).found
+        assert not tree.search(701).found
 
     def test_plain_tree_rejects_remove_key(self, pk_relation):
         tree = BFTree.bulk_load(pk_relation, "pk", BFTreeConfig(fpp=1e-3),

@@ -11,10 +11,11 @@ import numpy as np
 import pytest
 
 from repro.baselines import BPlusTree
+from repro.baselines.bptree import BPlusTreeConfig
 from repro.core import BFTree, BFTreeConfig
 from repro.harness import run_service
 from repro.service import Router, ShardedIndex
-from repro.storage import build_stack
+from repro.storage import Relation, build_stack
 from repro.workloads import (
     OP_INSERT,
     OP_READ,
@@ -181,8 +182,128 @@ class TestRouting:
         legs = service.scan_plan(100, 16000)
         assert legs[0][1] == 100
         assert legs[-1][2] == 16000
-        for (_, _, hi_a), (_, lo_b, _) in zip(legs, legs[1:]):
-            assert hi_a < lo_b  # disjoint, ordered legs
+        for (s, _, hi_a), (_, lo_b, _) in zip(legs, legs[1:]):
+            # Middle legs reach the routing boundary (the next shard's
+            # lo_key, which the left shard can never hold), leaving no
+            # key-space gap between consecutive legs.
+            assert hi_a == lo_b == service.shards[s + 1].lo_key
+
+    def test_scan_plan_covers_keys_inserted_past_hi_key(self):
+        """Regression: middle legs used to clamp sub_hi to the shard's
+        *build-time* hi_key, so a key inserted between hi_key and the
+        next shard's routing boundary was silently dropped from
+        cross-shard scans."""
+        rel = Relation({"pk": np.arange(2048, dtype=np.int64) * 10},
+                       tuple_size=256)
+        service = ShardedIndex.build(
+            rel, "pk", n_shards=4, kind="bplus",
+            config=BPlusTreeConfig(clustered=False), unique=True,
+        )
+        assert service.n_shards >= 3
+        shard = service.shards[0]
+        boundary = service.shards[1].lo_key
+        inserted = shard.hi_key + 5          # past hi_key, below boundary
+        assert inserted < boundary
+        assert service.route_key(inserted) == 0
+        service.insert(inserted, 0)
+
+        lo, hi = shard.hi_key - 40, boundary + 40   # spans the cut
+        legs = service.scan_plan(lo, hi)
+        assert len(legs) >= 2
+        assert any(sub_lo <= inserted <= sub_hi for _, sub_lo, sub_hi in legs)
+
+        service.bind(CONFIG)
+        result = service.range_scan(lo, hi)
+        service.unbind()
+        values = np.asarray(rel.columns["pk"])
+        expected = int(np.count_nonzero((values >= lo) & (values <= hi)))
+        assert result.matches == expected + 1   # the inserted key counts
+
+
+class TestWriteBatching:
+    """The Router's write-batched replay is bit-identical to per-op
+    dispatch and to the scalar unsharded loop."""
+
+    @pytest.mark.parametrize("mix", ["balanced", "insert_heavy"])
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_write_batched_replay_equals_unsharded(self, relation, mix,
+                                                   n_shards):
+        trace = generate_trace(relation, "pk", mix=mix, n_ops=400,
+                               skew="zipfian", seed=23)
+        tree = _unsharded(relation, "pk", "bf", unique=True)
+        ref_results, ref_io = _replay_unsharded(tree, trace, relation)
+
+        service = ShardedIndex.build(relation, "pk", n_shards=n_shards,
+                                     kind="bf", config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        report = run_service(service, trace, CONFIG, write_batch=True)
+        assert report.write_batch
+        assert report.results == ref_results
+        assert report.io == ref_io
+
+    def test_write_batched_replay_equals_unsharded_bplus(self, relation):
+        trace = generate_trace(relation, "pk", mix="insert_heavy",
+                               n_ops=300, skew="zipfian", seed=29)
+        tree = _unsharded(relation, "pk", "bplus", unique=True)
+        ref_results, ref_io = _replay_unsharded(tree, trace, relation)
+
+        service = ShardedIndex.build(relation, "pk", n_shards=4,
+                                     kind="bplus", unique=True)
+        report = run_service(service, trace, CONFIG, write_batch=True)
+        assert report.results == ref_results
+        assert report.io == ref_io
+
+    def test_write_batch_latencies_match_scalar(self, relation):
+        """insert_many's latency sink == per-op clock brackets."""
+        trace = generate_trace(relation, "pk", mix="insert_heavy",
+                               n_ops=300, skew="zipfian", seed=31)
+        service = ShardedIndex.build(relation, "pk", n_shards=3, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        batched = run_service(service, trace, CONFIG, write_batch=True)
+
+        service2 = ShardedIndex.build(relation, "pk", n_shards=3, kind="bf",
+                                      config=BFTreeConfig(fpp=FPP),
+                                      unique=True)
+        scalar = run_service(service2, trace, CONFIG, batch=True,
+                             write_batch=False)
+        assert not scalar.write_batch
+        assert np.allclose(batched.stats.op_latencies,
+                           scalar.stats.op_latencies, rtol=1e-9)
+        assert batched.results == scalar.results
+        assert batched.io == scalar.io
+
+    def test_sharded_insert_many_equals_unsharded_loop(self, relation):
+        """ShardedIndex.insert_many routes vectorized but performs the
+        exact scalar work: merged IOStats and post-insert probes match
+        an unsharded tree inserting the same batch in order."""
+        rng = np.random.default_rng(41)
+        keys = rng.integers(0, 16384, size=500).tolist()
+        values = np.asarray(relation.columns["pk"])
+        tids = [int(np.searchsorted(values, k)) for k in keys]
+
+        tree = _unsharded(relation, "pk", "bf", unique=True)
+        stack = build_stack(CONFIG)
+        tree.bind(stack)
+        for k, t in zip(keys, tids):
+            tree.insert(k, relation.page_of(t))
+        ref_insert_io = stack.stats.snapshot()
+        probes = point_probes(relation, "pk", 100, seed=6)
+        ref_results = [tree.search(k.item()) for k in probes.keys]
+        tree.unbind()
+
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="bf",
+                                     config=BFTreeConfig(fpp=FPP),
+                                     unique=True)
+        service.bind(CONFIG)
+        sink: list[float] = []
+        service.insert_many(keys, tids, latency_sink=sink)
+        insert_io = service.merged_io()
+        results = service.search_many(probes.keys)
+        service.unbind()
+        assert len(sink) == len(keys)
+        assert insert_io == ref_insert_io
+        assert results == ref_results
 
 
 class TestLatencyAccounting:

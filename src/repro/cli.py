@@ -248,6 +248,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             service, trace, config, warm=args.warm,
             batch=not args.no_batch,
             write_batch=False if args.no_write_batch else None,
+            scan_batch=False if args.no_scan_batch else None,
             threads=args.threads,
         )
         reports.append(report)
@@ -382,13 +383,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-batch", action="store_true",
                          help="disable the vectorized batch-probe engine "
                               "(per-op dispatch; same simulated results; "
-                              "also disables write batching unless "
-                              "--no-write-batch says otherwise)")
+                              "also disables write and scan batching "
+                              "unless --no-write-batch/--no-scan-batch "
+                              "say otherwise)")
     p_serve.add_argument("--no-write-batch", action="store_true",
                          help="disable Router write batching (inserts "
                               "dispatch per op instead of through the "
                               "vectorized insert_many batch write engine; "
                               "same simulated results)")
+    p_serve.add_argument("--no-scan-batch", action="store_true",
+                         help="disable Router scan batching (scans flush "
+                              "the read buffer and dispatch per op "
+                              "instead of riding the shared read-phase "
+                              "buffer into the vectorized range_scan_many "
+                              "batch scan engine; same simulated results)")
     p_serve.add_argument("--threads", type=int, default=None,
                          help="replay shards on a thread pool of this size")
     p_serve.add_argument("--json", action="store_true",

@@ -496,6 +496,12 @@ class BFLeaf:
         positions = bloom_positions_batch(
             keys_to_int_array(keys), proto.k, proto.nbits, proto.seed
         )
+        if self.geometry.filter_kind != "counting":
+            # All S filters share geometry, so every (key, filter) pair
+            # is tested in one stacked gather instead of S Python calls.
+            return BloomFilter.test_positions_stacked(
+                self.filters, positions
+            )
         matrix = np.empty((n, self.nfilters), dtype=bool)
         for i, bf in enumerate(self.filters):
             matrix[:, i] = bf.test_positions(positions)

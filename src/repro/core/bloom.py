@@ -226,6 +226,36 @@ class BloomFilter:
         bits = (words >> (positions & 63).astype(np.uint64)) & np.uint64(1)
         return bits.all(axis=1)
 
+    @staticmethod
+    def test_positions_stacked(filters: "list[BloomFilter]",
+                               positions: np.ndarray) -> np.ndarray:
+        """Test ``(n, k)`` bit positions against S same-geometry filters
+        in one stacked gather.
+
+        Returns an ``(n, S)`` boolean matrix whose column ``i`` equals
+        ``filters[i].test_positions(positions)`` exactly — the filters'
+        bitset words are stacked and every (key, filter) pair is read in
+        a fancy-index pass, keeping the word-layout knowledge (64-bit
+        words, ``pos >> 6`` / ``pos & 63`` packing) in this module.  The
+        key batch is processed in chunks bounding the ``(S, chunk, k)``
+        gather to ~64 MB, so a huge batch (a boundary-enumerating range
+        scan can probe 100k values) cannot blow up peak memory; normal
+        probe batches fit one chunk.  The BF-leaf's batch probe engine
+        runs on this.
+        """
+        n, k = positions.shape
+        s = len(filters)
+        words = np.stack([f._words for f in filters])
+        out = np.empty((n, s), dtype=bool)
+        step = max(1, (1 << 23) // max(1, s * k))
+        for start in range(0, n, step):
+            chunk = positions[start : start + step]
+            gathered = words[:, chunk >> 6]              # (S, chunk, k)
+            bits = (gathered >> (chunk & 63).astype(np.uint64)) \
+                & np.uint64(1)
+            out[start : start + step] = bits.all(axis=2).T
+        return out
+
     # ------------------------------------------------------------------
     def bits_set(self) -> int:
         """Number of 1-bits in the array (diagnostics; not a hot path)."""

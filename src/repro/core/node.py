@@ -18,7 +18,10 @@ here.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.device import PAGE_SIZE, Device
@@ -34,6 +37,25 @@ def fanout_for(key_size: int = DEFAULT_KEY_SIZE, ptr_size: int = DEFAULT_PTR_SIZ
     if fanout < 2:
         raise ValueError("page too small for a fanout of 2")
     return fanout
+
+
+def route_batch(fences: list, keys) -> list[int]:
+    """Rightmost-biased slot routing of a key batch over sorted fences.
+
+    Slot ``j`` equals ``bisect_right(fences, keys[j])`` — the flattened
+    form of :meth:`InternalNode.child_for`'s per-level descent, matching
+    :meth:`InnerTree.routing_table`'s contract — computed with one
+    vectorized ``searchsorted`` for numeric key batches.  Every batch
+    engine (writes, deletes, scans) routes through this.
+    """
+    n = len(keys)
+    if not fences or not n:
+        return [0] * n
+    arr = np.asarray(keys)
+    if arr.dtype.kind in "iufb":
+        return np.searchsorted(np.asarray(fences), arr,
+                               side="right").tolist()
+    return [bisect.bisect_right(fences, k) for k in keys]
 
 
 class NodeStore:

@@ -239,6 +239,7 @@ class ServiceReport:
     threads: int | None
     stats: ServiceStats
     write_batch: bool = True
+    scan_batch: bool = True
     results: list = field(repr=False, default_factory=list)
 
     @property
@@ -256,6 +257,7 @@ class ServiceReport:
             "skew": self.skew,
             "batch": self.batch,
             "write_batch": self.write_batch,
+            "scan_batch": self.scan_batch,
             "threads": self.threads,
             **self.stats.to_dict(),
         }
@@ -270,25 +272,28 @@ def run_service(
     batch_size: int = 512,
     threads: int | None = None,
     write_batch: bool | None = None,
+    scan_batch: bool | None = None,
 ) -> ServiceReport:
     """Replay a mixed workload trace through a sharded index service.
 
     Binds every shard to a fresh storage stack of ``config``, routes the
     trace through a :class:`~repro.service.router.Router` (reads batched
     through the vectorized probe engine unless ``batch=False``; inserts
-    batched through the vectorized write engine — ``write_batch``
-    defaults to following ``batch``; ``threads`` enables concurrent
-    shard replay), and returns a :class:`ServiceReport` whose
-    :class:`ServiceStats` carries merged IOStats, per-op latency
+    batched through the vectorized write engine; scans batched with the
+    reads through the vectorized scan engine — ``write_batch`` and
+    ``scan_batch`` default to following ``batch``; ``threads`` enables
+    concurrent shard replay), and returns a :class:`ServiceReport`
+    whose :class:`ServiceStats` carries merged IOStats, per-op latency
     percentiles, simulated makespan throughput (shards progress in
     parallel, so the service finishes with its slowest shard) and
-    replay wall time.  Both batch modes are bit-identical to per-op
+    replay wall time.  All batch modes are bit-identical to per-op
     dispatch in every simulated number.
     """
     service.bind(config, warm=warm)
     try:
         router = Router(service, batch=batch, batch_size=batch_size,
-                        threads=threads, write_batch=write_batch)
+                        threads=threads, write_batch=write_batch,
+                        scan_batch=scan_batch)
         results, stats = router.replay(trace)
     finally:
         service.unbind()
@@ -300,6 +305,7 @@ def run_service(
         skew=trace.skew,
         batch=batch,
         write_batch=router.write_batch,
+        scan_batch=router.scan_batch,
         threads=threads,
         stats=stats,
         results=results,

@@ -12,10 +12,17 @@ per-shard work lists and replays them:
   engine), with per-op latencies from its sink; a read or scan arrival
   flushes the write buffer first, so an operation issued after an
   insert always observes it (read-your-writes order is preserved);
-* scans are executed in place, clock-bracketed per op;
+* scans are **scan-batched** alongside the reads: scans and point
+  reads are both read-only, so they share one read-phase buffer — a
+  scan arrival no longer flushes the read buffer (only writes fence
+  the read phase) — and each flush dispatches the reads through
+  ``search_many`` and the scans through the vectorized
+  ``range_scan_many`` batch scan engine, per-op latencies from their
+  sinks;
 * a scan whose window spans multiple shards is split into per-shard
-  legs (scatter-gather); its latency is the *sum* of its legs'
-  simulated time, and its result merges the legs' counts.
+  legs (scatter-gather, planned vectorized via ``scan_plan_many``);
+  its latency is the *sum* of its legs' simulated time, and its result
+  merges the legs' counts.
 
 Per-shard operation order always follows trace order, so a read issued
 after an insert to the same shard observes it.  Because every shard owns
@@ -62,10 +69,12 @@ class Router:
         batch_size: int = 512,
         threads: int | None = None,
         write_batch: bool | None = None,
+        scan_batch: bool | None = None,
     ) -> None:
         """``batch`` controls read batching; ``write_batch`` controls
-        insert batching and defaults to following ``batch``.  Both modes
-        produce bit-identical simulated results to per-op dispatch."""
+        insert batching and ``scan_batch`` controls scan batching — both
+        default to following ``batch``.  All modes produce bit-identical
+        simulated results to per-op dispatch."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if threads is not None and threads < 1:
@@ -75,6 +84,7 @@ class Router:
         self.batch_size = batch_size
         self.threads = threads
         self.write_batch = batch if write_batch is None else write_batch
+        self.scan_batch = batch if scan_batch is None else scan_batch
 
     # ------------------------------------------------------------------
     # planning
@@ -83,6 +93,20 @@ class Router:
         """Split the trace into per-shard sub-op lists (trace order kept)."""
         per_shard: list[list[_SubOp]] = [[] for _ in self.service.shards]
         assign = self.service.route(trace.keys)
+        # Scan legs are planned for the whole trace in one vectorized
+        # pass (both window endpoints routed batch-wise), then spliced
+        # back at each scan's trace position.
+        scan_idx = np.nonzero(trace.ops == OP_SCAN)[0]
+        scan_legs: dict[int, list] = {}
+        if len(scan_idx):
+            windows = [
+                (trace.keys[i].item(),
+                 trace.keys[i].item() + int(trace.scan_widths[i]) - 1)
+                for i in scan_idx
+            ]
+            for i, legs in zip(scan_idx.tolist(),
+                               self.service.scan_plan_many(windows)):
+                scan_legs[i] = legs
         for i in range(len(trace)):
             code = int(trace.ops[i])
             key = trace.keys[i].item()
@@ -93,8 +117,7 @@ class Router:
                     _SubOp(i, code, key, tid=int(trace.tids[i]))
                 )
             else:  # OP_SCAN: one leg per overlapping shard
-                hi = key + int(trace.scan_widths[i]) - 1
-                for s, sub_lo, sub_hi in self.service.scan_plan(key, hi):
+                for s, sub_lo, sub_hi in scan_legs[i]:
                     per_shard[s].append(
                         _SubOp(i, code, key, sub_lo=sub_lo, sub_hi=sub_hi)
                     )
@@ -183,26 +206,43 @@ class Router:
         write_buffer: list[_SubOp] = []
 
         def flush_reads() -> None:
+            # The read-phase buffer holds point reads and (with scan
+            # batching) scan legs: both are read-only, so each chunk can
+            # dispatch its reads and its scans as two sub-batches —
+            # every charge on the read path declares its access pattern
+            # explicitly, so the relative order cannot change any
+            # simulated number.
             if not read_buffer:
                 return
             for start in range(0, len(read_buffer), self.batch_size):
                 chunk = read_buffer[start : start + self.batch_size]
-                if self.batch:
+                reads = [op for op in chunk if op.code == OP_READ]
+                scans = [op for op in chunk if op.code == OP_SCAN]
+                if reads and self.batch:
                     sink: list[float] = []
                     chunk_results = index.search_many(
-                        [op.key for op in chunk], latency_sink=sink
+                        [op.key for op in reads], latency_sink=sink
                     )
-                    for op, latency, result in zip(chunk, sink,
+                    for op, latency, result in zip(reads, sink,
                                                    chunk_results):
                         out.append((op.op_index, op.code, latency, result))
-                else:
-                    for op in chunk:
+                elif reads:
+                    for op in reads:
                         begin = clock.now()
                         result = index.search(op.key)
                         out.append(
                             (op.op_index, op.code, clock.now() - begin,
                              result)
                         )
+                if scans:
+                    scan_sink: list[float] = []
+                    scan_results = index.range_scan_many(
+                        [(op.sub_lo, op.sub_hi) for op in scans],
+                        latency_sink=scan_sink,
+                    )
+                    for op, latency, result in zip(scans, scan_sink,
+                                                   scan_results):
+                        out.append((op.op_index, op.code, latency, result))
             read_buffer.clear()
 
         def flush_writes() -> None:
@@ -230,9 +270,10 @@ class Router:
                         )
             write_buffer.clear()
 
-        # At most one buffer is ever non-empty: an op of the other kind
-        # flushes it first, which keeps per-shard trace order (a read
-        # issued after an insert observes it, and vice versa).
+        # At most one buffer is ever non-empty: an op of the other phase
+        # flushes it first, which keeps per-shard trace order (a read or
+        # scan issued after an insert observes it, and vice versa).
+        # Reads and scans share the read phase — only writes fence it.
         for op in subops:
             if op.code == OP_READ:
                 flush_writes()
@@ -240,7 +281,10 @@ class Router:
             elif op.code == OP_INSERT:
                 flush_reads()
                 write_buffer.append(op)
-            else:
+            elif op.code == OP_SCAN and self.scan_batch:
+                flush_writes()
+                read_buffer.append(op)
+            elif op.code == OP_SCAN:
                 flush_reads()
                 flush_writes()
                 begin = clock.now()
@@ -248,6 +292,10 @@ class Router:
                 out.append(
                     (op.op_index, op.code, clock.now() - begin, result)
                 )
+            else:
+                # Fail loudly: a new op code buffered as if it were a
+                # scan would be silently dropped by flush_reads.
+                raise ValueError(f"unknown op code {op.code}")
         flush_reads()
         flush_writes()
         return out

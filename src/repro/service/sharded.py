@@ -44,6 +44,7 @@ from repro.core.bf_tree import (
     BFTreeConfig,
     RangeScanResult,
     SearchResult,
+    normalize_scan_windows,
 )
 from repro.storage.config import StorageConfig, StorageStack, build_stack
 from repro.storage.iostats import IOStats
@@ -228,20 +229,35 @@ class ShardedIndex:
         so consecutive legs sharing the boundary value cannot count
         anything twice.
         """
-        if lo > hi:
-            raise ValueError(f"empty range: lo={lo} > hi={hi}")
-        s_lo = self.route_key(lo)
-        s_hi = self.route_key(hi)
-        legs: list[tuple[int, object, object]] = []
-        for s in range(s_lo, s_hi + 1):
-            shard = self.shards[s]
-            sub_lo = lo if s == s_lo else shard.lo_key
-            sub_hi = hi if s == s_hi else self.shards[s + 1].lo_key
-            if sub_lo is None:
-                sub_lo = lo
-            if sub_lo <= sub_hi:
-                legs.append((s, sub_lo, sub_hi))
-        return legs
+        return self.scan_plan_many([(lo, hi)])[0]
+
+    def scan_plan_many(self, windows
+                       ) -> list[list[tuple[int, object, object]]]:
+        """Vectorized :meth:`scan_plan` over a batch of scan windows.
+
+        Both endpoints of every window are routed in one
+        ``searchsorted`` pass each; entry ``j`` equals
+        ``scan_plan(*windows[j])`` exactly.  The Router's trace planning
+        and :meth:`range_scan_many` run on this.
+        """
+        wins = normalize_scan_windows(windows)
+        if not wins:
+            return []
+        s_los = self.route([lo for lo, _ in wins])
+        s_his = self.route([hi for _, hi in wins])
+        plans: list[list[tuple[int, object, object]]] = []
+        for (lo, hi), s_lo, s_hi in zip(wins, s_los, s_his):
+            legs: list[tuple[int, object, object]] = []
+            for s in range(int(s_lo), int(s_hi) + 1):
+                shard = self.shards[s]
+                sub_lo = lo if s == s_lo else shard.lo_key
+                sub_hi = hi if s == s_hi else self.shards[s + 1].lo_key
+                if sub_lo is None:
+                    sub_lo = lo
+                if sub_lo <= sub_hi:
+                    legs.append((s, sub_lo, sub_hi))
+            plans.append(legs)
+        return plans
 
     # ==================================================================
     # operations (single-caller convenience; the Router batches)
@@ -388,6 +404,56 @@ class ShardedIndex:
             total.pages_read += part.pages_read
             total.leaves_visited += part.leaves_visited
         return total
+
+    def range_scan_many(self, windows,
+                        latency_sink: list[float] | None = None
+                        ) -> list[RangeScanResult]:
+        """Vectorized batch :meth:`range_scan`: plan every window's legs
+        in one pass (:meth:`scan_plan_many`), drive each shard's leg
+        group through its index's ``range_scan_many``, and merge the
+        legs back per scan.
+
+        Bit-identical to per-window :meth:`range_scan` calls — legs land
+        on the same shards with the same sub-windows, and each shard's
+        batch scan engine is charge-identical to its scalar loop.
+        ``latency_sink`` receives one simulated per-scan latency per
+        window (a cross-shard scan's latency is the sum of its legs',
+        matching the Router's scatter-gather accounting).
+        """
+        plans = self.scan_plan_many(windows)
+        n = len(plans)
+        results = [
+            RangeScanResult(matches=0, pages_read=0, leaves_visited=0)
+            for _ in range(n)
+        ]
+        latencies = [0.0] * n
+        per_shard: list[list[tuple[int, object, object]]] = [
+            [] for _ in self.shards
+        ]
+        for j, legs in enumerate(plans):
+            for s, sub_lo, sub_hi in legs:
+                per_shard[s].append((j, sub_lo, sub_hi))
+        for s, shard in enumerate(self.shards):
+            group = per_shard[s]
+            if not group:
+                continue
+            sub_sink: list[float] | None = (
+                [] if latency_sink is not None else None
+            )
+            shard_results = shard.index.range_scan_many(
+                [(sub_lo, sub_hi) for _, sub_lo, sub_hi in group],
+                latency_sink=sub_sink,
+            )
+            for (j, _, _), part in zip(group, shard_results):
+                results[j].matches += part.matches
+                results[j].pages_read += part.pages_read
+                results[j].leaves_visited += part.leaves_visited
+            if sub_sink is not None:
+                for (j, _, _), latency in zip(group, sub_sink):
+                    latencies[j] += latency
+        if latency_sink is not None:
+            latency_sink.extend(latencies)
+        return results
 
     # ==================================================================
     # introspection

@@ -26,6 +26,30 @@ PAGE_SIZE = 4096
 """Bytes per page, fixed to 4 KB throughout the paper's evaluation."""
 
 
+def classify_read_runs(runs, prev_pid: int | None = None
+                       ) -> tuple[int, int, int | None]:
+    """Eq. 13 access-pattern split for planned ``(first_pid, npages)`` runs.
+
+    Returns ``(n_random, n_sequential, last_pid)`` under the rule the
+    scalar scan loops charge page by page: a page is sequential iff it
+    immediately follows the previously read page, so each disjoint run
+    pays one random positioning and the rest ride sequentially.
+    ``prev_pid`` carries the position across calls (consecutive leaves
+    whose runs are disk-contiguous continue one sequential stream).
+    The batch scan engines feed the result to :meth:`Device.read_batch`;
+    this helper is the single definition of the split those engines must
+    share with the scalar loops.
+    """
+    n_random = 0
+    total = 0
+    for first, npages in runs:
+        if prev_pid is None or first != prev_pid + 1:
+            n_random += 1
+        prev_pid = first + npages - 1
+        total += npages
+    return n_random, total - n_random, prev_pid
+
+
 class Medium(Enum):
     """Kind of storage medium a device profile describes."""
 
@@ -147,6 +171,34 @@ class Device:
         self.read_page(first_page, sequential=False)
         for offset in range(1, npages):
             self.read_page(first_page + offset, sequential=True)
+
+    def read_batch(self, n_random: int, n_sequential: int,
+                   last_page: int | None = None) -> None:
+        """Charge ``n_random`` random plus ``n_sequential`` sequential page
+        reads in one clock advance.
+
+        This is the aggregate of per-page :meth:`read_page` calls with
+        explicit ``sequential`` flags: the IOStats counters are identical,
+        and the clock total equals the per-page loop up to float summation
+        order (one multiply-add instead of N additions).  The batch scan
+        engine charges each scan's planned page runs through this.
+        ``last_page`` records the head position after the batch, as the
+        last per-page call would have.
+        """
+        if n_random < 0 or n_sequential < 0:
+            raise ValueError("read counts must be >= 0")
+        if n_random == 0 and n_sequential == 0:
+            return
+        self.clock.advance(n_random * self.profile.random_read
+                           + n_sequential * self.profile.seq_read)
+        if self.role == "index":
+            self.stats.index_random_reads += n_random
+            self.stats.index_seq_reads += n_sequential
+        else:
+            self.stats.data_random_reads += n_random
+            self.stats.data_seq_reads += n_sequential
+        if last_page is not None:
+            self._last_page = last_page
 
     def write_page(self, page_id: int, sequential: bool | None = None) -> None:
         """Charge the cost of writing one page."""

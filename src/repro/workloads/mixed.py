@@ -216,9 +216,26 @@ def generate_trace(
             miss_idx = rng.choice(read_idx, size=n_miss, replace=False)
             hi = int(distinct.max())
             span = max(1, hi - int(distinct.min()))
-            keys[miss_idx] = (
-                hi + 1 + rng.integers(0, span, size=n_miss)
-            ).astype(keys.dtype)
+            # Clamp the beyond-domain draws to the column's dtype max: a
+            # key dtype near its max (int32/int16, or int64 itself)
+            # would otherwise wrap ``hi + 1 + draw`` around to an
+            # in-domain (or below-domain) value — a "guaranteed miss"
+            # that may actually hit while ``expected_hits`` still says
+            # miss.  The offsets are drawn *before* the add so the
+            # clamp (``offset <= dtype_max - hi - 1``) keeps the sum
+            # representable instead of overflowing first.
+            offsets = rng.integers(0, span, size=n_miss)
+            if np.issubdtype(keys.dtype, np.integer):
+                dtype_max = int(np.iinfo(keys.dtype).max)
+                if hi >= dtype_max:
+                    raise ValueError(
+                        f"column {column!r} reaches its dtype max "
+                        f"({dtype_max}): no out-of-domain miss key is "
+                        "representable; use hit_rate=1.0 or a wider "
+                        "key dtype"
+                    )
+                offsets = np.minimum(offsets, min(dtype_max - hi - 1, span))
+            keys[miss_idx] = (hi + 1 + offsets).astype(keys.dtype)
             expected[miss_idx] = False
 
     # Insert targets: the first tuple actually holding the key (ordered

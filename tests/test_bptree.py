@@ -137,6 +137,28 @@ class TestUpdates:
         tree.bind(build_stack("MEM/SSD"))
         assert tree.search(5).matches == 1
 
+    def test_single_leaf_root_split(self):
+        """Regression companion to the collapsed conditional in
+        ``_split_leaf``: a tree whose directory is still the degenerate
+        single leaf must grow its first internal root when that leaf
+        splits, and keep every key findable on both sides."""
+        rel = Relation({"pk": np.arange(100, dtype=np.int64)},
+                       tuple_size=256)
+        tree = BPlusTree.bulk_load(rel, "pk", unique=True)
+        assert tree.n_leaves == 1
+        assert tree.inner.root_id is None  # degenerate single-leaf tree
+        i = 0
+        while tree.n_leaves == 1:
+            tree.insert(100 + i, i % rel.ntuples)
+            i += 1
+        assert tree.n_leaves == 2
+        assert tree.inner.root_id is not None
+        assert tree.inner._single_leaf is None
+        # Descents route correctly to both split sides.
+        for key in (0, 99, 100, 100 + i - 1):
+            leaf = tree._descend_and_read(key)
+            assert leaf is not None and leaf.find(key) is not None
+
     def test_delete_missing(self, pk_relation):
         tree = _tree(pk_relation)
         assert not tree.delete(10**9)

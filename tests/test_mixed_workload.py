@@ -14,6 +14,7 @@ from repro.workloads import (
     generate_trace,
     synthetic,
 )
+from repro.storage import Relation
 from repro.workloads.seeds import DEFAULT_SEEDS
 
 
@@ -119,6 +120,59 @@ class TestTraceContents:
         )
         assert hits.mean() == pytest.approx(0.7, abs=0.02)
         assert np.array_equal(hits, trace.expected_hits[reads])
+
+    def test_miss_keys_do_not_wrap_narrow_dtype(self):
+        """Regression: miss keys were computed as ``hi + 1 + draw`` then
+        cast to the key dtype, so an int32 column near the dtype max
+        wrapped them around to in-domain values — guaranteed "misses"
+        that actually hit while expected_hits still said miss."""
+        top = np.iinfo(np.int32).max - 10
+        values = (np.arange(4096, dtype=np.int64)
+                  + top - 5000).astype(np.int32)
+        rel = Relation({"k": values}, tuple_size=256)
+        trace = generate_trace(rel, "k", mix="read_only", n_ops=500,
+                               seed=6, hit_rate=0.5)
+        misses = ~trace.expected_hits
+        assert misses.any()
+        # Every marked miss is strictly beyond the key domain — no
+        # wraparound back into it.
+        domain_max = int(values.max())
+        assert np.all(trace.keys[misses].astype(np.int64) > domain_max)
+        assert trace.keys.dtype == np.int32
+
+    def test_miss_keys_do_not_wrap_int64_near_max(self):
+        """The widest dtype overflows too: near the int64 max,
+        ``hi + 1 + draw`` used to wrap to below-domain values (and with
+        hi at the max, to raise numpy's error instead of ours)."""
+        top = np.iinfo(np.int64).max - 11
+        values = np.arange(4096, dtype=np.int64) + top - 5000
+        rel = Relation({"k": values}, tuple_size=256)
+        trace = generate_trace(rel, "k", mix="read_only", n_ops=500,
+                               seed=6, hit_rate=0.5)
+        misses = ~trace.expected_hits
+        assert misses.any()
+        assert np.all(trace.keys[misses] > int(values.max()))
+
+    def test_miss_keys_unrepresentable_raises(self):
+        """A column that reaches its dtype max leaves no room for an
+        out-of-domain miss key; asking for misses must fail loudly
+        instead of silently aliasing hits."""
+        values = (np.iinfo(np.int32).max
+                  - np.arange(2048, dtype=np.int64)[::-1]).astype(np.int32)
+        rel = Relation({"k": values}, tuple_size=256)
+        with pytest.raises(ValueError, match="dtype max"):
+            generate_trace(rel, "k", mix="read_only", n_ops=200,
+                           seed=6, hit_rate=0.5)
+
+    def test_int64_misses_still_beyond_domain(self, relation):
+        """The overflow fix leaves wide-dtype miss keys where they were:
+        strictly beyond the domain (the int64 clamp is a no-op)."""
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=300,
+                               seed=6, hit_rate=0.8)
+        misses = ~trace.expected_hits
+        hi = int(np.asarray(relation.columns["pk"]).max())
+        assert misses.any()
+        assert np.all(trace.keys[misses] > hi)
 
 
 class TestSeedPlumbing:

@@ -6,11 +6,23 @@ Top-level re-exports cover the public API a downstream user needs:
 * :class:`BFTree` / :class:`BFTreeConfig` — the paper's contribution.
 * Baselines: B+-Tree, hash index, FD-Tree, SILT, sorted-file search
   (in :mod:`repro.baselines`).
+* The unified Index protocol and backend registry
+  (:mod:`repro.api`): :func:`make_index` builds any registered
+  backend, :func:`register` adds new ones, and every backend speaks
+  the same search/insert/delete/range_scan (+ batch) contract.
 * Storage simulator: :func:`build_stack`, the five paper configurations.
 * Workload generators for the synthetic relation R, TPCH lineitem dates
   and the smart-home dataset (in :mod:`repro.workloads`).
 """
 
+from repro.api import (
+    Capabilities,
+    Index,
+    UnsupportedOperationError,
+    make_index,
+    register,
+    registered_backends,
+)
 from repro.core import BFTree, BFTreeConfig, BloomFilter
 from repro.service import Router, ShardedIndex
 from repro.storage import (
@@ -28,6 +40,12 @@ __all__ = [
     "BFTree",
     "BFTreeConfig",
     "BloomFilter",
+    "Capabilities",
+    "Index",
+    "UnsupportedOperationError",
+    "make_index",
+    "register",
+    "registered_backends",
     "Router",
     "ShardedIndex",
     "FIVE_CONFIGS",

@@ -1,0 +1,71 @@
+"""Built-in backend registrations: the six servable index backends.
+
+Imported lazily by :mod:`repro.api.registry` on first use.  Each
+builder normalizes the shared CLI knobs: every builder accepts
+``unique``, ``config`` and ``fpp``; backends without a false-positive
+knob simply ignore ``fpp``, so one uniform call works for all six.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import register
+from repro.baselines.bptree import BPlusTree
+from repro.baselines.fd_tree import FDTree
+from repro.baselines.hash_index import HashIndex
+from repro.baselines.interpolation import SortedFileSearch
+from repro.baselines.silt import SiltStore
+from repro.core.bf_tree import BFTree, BFTreeConfig
+
+
+def _build_bf(relation, column, *, unique=False, config=None, fpp=None):
+    if config is None and fpp is not None:
+        config = BFTreeConfig(fpp=fpp)
+    return BFTree.bulk_load(relation, column, config, unique=unique)
+
+
+def _build_bplus(relation, column, *, unique=False, config=None, fpp=None):
+    return BPlusTree.bulk_load(relation, column, config, unique=unique)
+
+
+def _build_hash(relation, column, *, unique=False, config=None, fpp=None):
+    return HashIndex.build(relation, column, unique=unique)
+
+
+def _build_fd(relation, column, *, unique=False, config=None, fpp=None):
+    return FDTree.bulk_load(relation, column, config, unique=unique)
+
+
+def _build_silt(relation, column, *, unique=False, config=None, fpp=None):
+    # SiltStore's own constructor defaults unique=True (SILT is a KV
+    # store), but the registry contract is uniform: unique=False unless
+    # the caller says otherwise, so all six backends compare like for
+    # like on duplicate-key columns.
+    return SiltStore.build(relation, column, config, unique=unique)
+
+
+def _build_binsearch(relation, column, *, unique=False, config=None,
+                     fpp=None):
+    return SortedFileSearch(relation, column, unique=unique)
+
+
+register("bf", _build_bf,
+         "BF-Tree: Bloom-filter leaves under a B+-Tree directory (the paper)")
+register("bplus", _build_bplus,
+         "exact page-based B+-Tree baseline")
+register("hash", _build_hash,
+         "in-memory hash index (point queries, unordered)")
+register("fd", _build_fd,
+         "FD-Tree: head tree + logarithmic sorted levels on flash")
+register("silt", _build_silt,
+         "SILT sorted store + in-memory trie (point queries, immutable)")
+register("binsearch", _build_binsearch,
+         "index-free binary/interpolation search on the sorted data file")
+
+# Stamp the registry names onto the classes so capability errors and
+# reports name the backend as the registry does.
+BFTree.backend_name = "bf"
+BPlusTree.backend_name = "bplus"
+HashIndex.backend_name = "hash"
+FDTree.backend_name = "fd"
+SiltStore.backend_name = "silt"
+SortedFileSearch.backend_name = "binsearch"

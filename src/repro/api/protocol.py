@@ -1,0 +1,302 @@
+"""The unified ``Index`` protocol every backend conforms to.
+
+The paper's headline claim is comparative — BF-Tree versus B+-Tree,
+FD-Tree, SILT, hash index and sorted-file search — so the serving stack
+must be able to drop *any* of them into the same harness and replay
+identical traffic.  This module defines that contract:
+
+* :class:`Index` — the structural protocol (``typing.Protocol``): build
+  once, ``bind``/``unbind`` a storage stack, then ``search`` /
+  ``insert`` / ``delete`` / ``range_scan`` plus their batch
+  counterparts, a :meth:`~Index.capabilities` descriptor and the
+  :meth:`~Index.write_target` tuple-id translation hook.
+* :class:`Capabilities` — what a backend can do (``ordered``,
+  ``mutable``, ``scannable``, ``unique``); harnesses gate on this
+  instead of ``hasattr`` duck typing.
+* :class:`UnsupportedOperationError` — raised (instead of
+  ``AttributeError``) when an operation falls outside a backend's
+  capabilities; the message names the missing capability.
+* :class:`BatchFallbackMixin` — generic scalar-loop implementations of
+  ``search_many`` / ``insert_many`` / ``delete_many`` /
+  ``range_scan_many``.  They are **bit-identical** to calling the
+  scalar operation per item (same results, same IOStats, clock equal
+  up to float summation order) because they *are* that loop, with the
+  same ``latency_sink`` accounting the vectorized engines report.
+  Backends with real vectorized engines (BF-Tree, B+-Tree) override
+  them; every other backend batches for free.
+* :class:`IndexBackend` — the concrete base class backends inherit:
+  the batch fallbacks plus capability-gated defaults for the mutating
+  and scanning operations.
+
+Write addressing: the protocol's mutating operations take the backend's
+*native write target* — a tuple id for rid-based indexes, a data page id
+for the BF-Tree, which indexes pages.  :meth:`Index.write_target` maps a
+tuple id to that native target, so backend-agnostic callers (the sharded
+service, the Router) write ``index.insert(key, index.write_target(tid))``
+and never branch on the backend kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.api.results import (
+    DeleteOutcome,
+    RangeScanResult,
+    SearchResult,
+    normalize_scan_windows,
+)
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one index backend instance can do.
+
+    * ``ordered`` — keys are kept in (or served from) sorted order; the
+      precondition for range partitioning a backend across shards.
+    * ``mutable`` — ``insert`` / ``delete`` are supported.
+    * ``scannable`` — ``range_scan`` is supported.
+    * ``unique`` — the instance was built with primary-key semantics
+      (probes stop at the first match).
+    """
+
+    ordered: bool
+    mutable: bool
+    scannable: bool
+    unique: bool
+
+    def summary(self) -> str:
+        """Human-readable capability list for error messages."""
+        names = [
+            name
+            for name in ("ordered", "mutable", "scannable", "unique")
+            if getattr(self, name)
+        ]
+        return ", ".join(names) if names else "none"
+
+
+class UnsupportedOperationError(NotImplementedError):
+    """An operation outside the backend's capabilities was requested.
+
+    Subclasses :class:`NotImplementedError` so legacy callers that
+    guarded on it keep working, but carries a structured message naming
+    the backend, the operation and the capability it lacks.
+    """
+
+    def __init__(self, backend: str, op: str, capability: str,
+                 capabilities: Capabilities | None = None) -> None:
+        self.backend = backend
+        self.op = op
+        self.capability = capability
+        self.capabilities = capabilities
+        message = (
+            f"{backend} does not support {op}(): backend is not "
+            f"{capability}"
+        )
+        if capabilities is not None:
+            message += f" (capabilities: {capabilities.summary()})"
+        super().__init__(message)
+
+
+@runtime_checkable
+class Index(Protocol):
+    """Structural protocol of a servable index backend.
+
+    Every registered backend satisfies this at runtime (see
+    :mod:`repro.api.registry`); ``isinstance(obj, Index)`` checks method
+    presence.  The semantic contract — result types, bit-identity of
+    batch and scalar paths, capability-gated errors — is enforced by
+    ``tests/test_api_conformance.py`` across all backends.
+    """
+
+    def bind(self, stack, warm: bool = False) -> None: ...
+    def unbind(self) -> None: ...
+    def capabilities(self) -> Capabilities: ...
+    def write_target(self, tid: int) -> int: ...
+    def search(self, key) -> SearchResult: ...
+    def insert(self, key, target: int) -> None: ...
+    def delete(self, key, target: int | None = None) -> DeleteOutcome: ...
+    def range_scan(self, lo, hi) -> RangeScanResult: ...
+    def search_many(self, keys, latency_sink=None) -> list[SearchResult]: ...
+    def insert_many(self, keys, targets, latency_sink=None) -> None: ...
+    def delete_many(self, keys, targets=None,
+                    latency_sink=None) -> list[DeleteOutcome]: ...
+    def range_scan_many(self, windows,
+                        latency_sink=None) -> list[RangeScanResult]: ...
+
+
+def _unwrap(key):
+    """NumPy scalar -> Python value, as every scalar entry point does."""
+    return key.item() if hasattr(key, "item") else key
+
+
+class BatchFallbackMixin:
+    """Generic batch operations as per-item scalar loops.
+
+    Bit-identical to calling the scalar operation once per item on the
+    same bound stack — same results, same IOStats counters, clock equal
+    up to float summation order — because the loop body *is* the scalar
+    call.  ``latency_sink`` receives one simulated per-op latency per
+    item (zeros when unbound), matching the vectorized engines'
+    accounting, so Router percentile reports work on every backend.
+
+    Subclasses point :meth:`_sim_clock` at the simulated clock their
+    scalar operations charge; without it latencies degrade to zeros
+    (the unbound, charge-free mode every backend supports).
+    """
+
+    def _sim_clock(self):
+        """The bound stack's simulated clock, or None when unbound."""
+        return None
+
+    def search_many(self, keys,
+                    latency_sink: list[float] | None = None
+                    ) -> list[SearchResult]:
+        clock = self._sim_clock()
+        track = latency_sink is not None and clock is not None
+        results: list[SearchResult] = []
+        for key in keys:
+            start = clock.now() if track else 0.0
+            results.append(self.search(_unwrap(key)))
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in results)
+        return results
+
+    def insert_many(self, keys, targets,
+                    latency_sink: list[float] | None = None) -> None:
+        clock = self._sim_clock()
+        track = latency_sink is not None and clock is not None
+        for key, target in zip(keys, targets):
+            start = clock.now() if track else 0.0
+            self.insert(_unwrap(key), int(target))
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in keys)
+
+    def delete_many(self, keys, targets=None,
+                    latency_sink: list[float] | None = None
+                    ) -> list[DeleteOutcome]:
+        n = len(keys)
+        targets = [None] * n if targets is None else list(targets)
+        clock = self._sim_clock()
+        track = latency_sink is not None and clock is not None
+        outcomes: list[DeleteOutcome] = []
+        for key, target in zip(keys, targets):
+            start = clock.now() if track else 0.0
+            outcomes.append(
+                self.delete(_unwrap(key),
+                            None if target is None else int(target))
+            )
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in keys)
+        return outcomes
+
+    def range_scan_many(self, windows,
+                        latency_sink: list[float] | None = None
+                        ) -> list[RangeScanResult]:
+        # Validate every window before any charge lands, matching the
+        # vectorized engines' up-front normalize_scan_windows pass.
+        wins = normalize_scan_windows(windows)
+        clock = self._sim_clock()
+        track = latency_sink is not None and clock is not None
+        results: list[RangeScanResult] = []
+        for lo, hi in wins:
+            start = clock.now() if track else 0.0
+            results.append(self.range_scan(lo, hi))
+            if track:
+                latency_sink.append(clock.now() - start)
+        if latency_sink is not None and not track:
+            latency_sink.extend(0.0 for _ in results)
+        return results
+
+
+class IndexBackend(BatchFallbackMixin):
+    """Concrete base every backend inherits.
+
+    Provides the batch fallbacks plus capability-gated defaults: a
+    backend that never defines ``insert``/``delete`` is immutable, one
+    that never defines ``range_scan`` is unscannable — callers get an
+    :class:`UnsupportedOperationError` naming the missing capability
+    instead of an ``AttributeError``.  ``backend_name`` is the registry
+    name, filled in at registration time.
+    """
+
+    #: Registry name of this backend (set by repro.api.registry.register).
+    backend_name: str = ""
+
+    #: True when the backend can donate its leaf chain to ShardedIndex
+    #: (see the shard_* hooks on BFTree / BPlusTree).  Backends without
+    #: sliceable leaves serve as a single-shard degenerate case.
+    supports_sharding: bool = False
+
+    def capabilities(self) -> Capabilities:  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement capabilities()"
+        )
+
+    def _backend_label(self) -> str:
+        return self.backend_name or type(self).__name__
+
+    def _unsupported(self, op: str, capability: str) -> UnsupportedOperationError:
+        return UnsupportedOperationError(
+            self._backend_label(), op, capability, self.capabilities()
+        )
+
+    # ------------------------------------------------------------------
+    # write addressing
+    # ------------------------------------------------------------------
+    def write_target(self, tid: int) -> int:
+        """Native write address of tuple ``tid`` (rid by default;
+        page-granular backends like the BF-Tree override this)."""
+        return int(tid)
+
+    # ------------------------------------------------------------------
+    # capability-gated defaults
+    # ------------------------------------------------------------------
+    def insert(self, key, target: int) -> None:
+        raise self._unsupported("insert", "mutable")
+
+    def delete(self, key, target: int | None = None) -> DeleteOutcome:
+        raise self._unsupported("delete", "mutable")
+
+    def range_scan(self, lo, hi) -> RangeScanResult:
+        raise self._unsupported("range_scan", "scannable")
+
+    # ------------------------------------------------------------------
+    # size / shape introspection defaults (trees override)
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Probe depth; flat backends (hash, sorted store) count as 1."""
+        return 1
+
+    @property
+    def n_leaves(self) -> int:
+        return 0
+
+    # ------------------------------------------------------------------
+    # sharding hooks (leaf-sliceable trees override all four)
+    # ------------------------------------------------------------------
+    def shard_leaves(self) -> list:
+        """Leaf objects in key order, ready to slice into shard runs."""
+        raise self._unsupported("shard_leaves", "shardable")
+
+    def shard_from_leaves(self, run: list) -> "IndexBackend":
+        """Rebuild an independent index over a contiguous leaf run."""
+        raise self._unsupported("shard_from_leaves", "shardable")
+
+    @staticmethod
+    def shard_leaf_span(leaf) -> tuple:
+        """(smallest, largest) key a leaf covers."""
+        raise NotImplementedError
+
+    @staticmethod
+    def shard_cut_spans(left, right) -> bool:
+        """True when cutting between two adjacent leaves would split a key."""
+        raise NotImplementedError

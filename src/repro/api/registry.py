@@ -1,0 +1,114 @@
+"""Backend registry: one source of truth for every servable index.
+
+``register("bf", builder)`` publishes a backend;
+``make_index(name, relation, column, **cfg)`` builds one.  The CLI's
+``probe --index`` / ``serve-bench --index`` choices, the sharded
+service's donor construction and the conformance test suite all draw
+from this registry, so adding a future backend (an LSM-tree, a learned
+index) is one module + one ``register()`` call — every harness picks it
+up with no further edits.
+
+The six built-in backends (``bf``, ``bplus``, ``hash``, ``fd``,
+``silt``, ``binsearch``) are registered lazily on first use by
+importing :mod:`repro.api.backends`, keeping this module import-cycle
+free (backends import the protocol, which lives beside this registry).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend: a name, a builder and a description.
+
+    ``builder(relation, column, *, unique=False, config=None, **cfg)``
+    must return an object conforming to :class:`repro.api.Index`.
+    Builders accept (and may ignore) the shared CLI knobs — notably
+    ``fpp``, which only filter-based backends consume — so callers can
+    pass one uniform kwarg set to every backend.
+    """
+
+    name: str
+    builder: Callable
+    description: str = ""
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Set the flag before importing: repro.api.backends calls register()
+    # re-entrantly, which must not recurse back in here.  A failed
+    # import clears it so the next call retries (and errors loudly)
+    # instead of serving a silently partial registry forever.
+    _BUILTINS_LOADED = True
+    try:
+        importlib.import_module("repro.api.backends")
+    except BaseException:
+        _BUILTINS_LOADED = False
+        raise
+
+
+def register(name: str, builder: Callable, description: str = "",
+             replace: bool = False) -> BackendSpec:
+    """Publish an index backend under ``name``.
+
+    Re-registering an existing name raises unless ``replace=True``.
+    The built-in backends are loaded first, so a user registration that
+    collides with one of them errors here, at the caller's site, not
+    later inside an unrelated ``make_index`` call.
+    """
+    _ensure_builtins()
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"backend {name!r} is already registered")
+    spec = BackendSpec(name=name, builder=builder, description=description)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def registered_backends() -> list[str]:
+    """Sorted names of every registered backend (the single source of
+    truth behind CLI choices and error messages)."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def backend_spec(name: str) -> BackendSpec:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index backend {name!r}; registered backends: "
+            f"{', '.join(registered_backends())}"
+        ) from None
+
+
+def make_index(name: str, relation, column: str, **cfg):
+    """Build a registered backend over ``relation.column``.
+
+    ``cfg`` is forwarded to the backend's builder (``unique``,
+    ``config``, ``fpp``, ...).  Raises :class:`ValueError` listing the
+    registered names when ``name`` is unknown.
+    """
+    spec = backend_spec(name)
+    index = spec.builder(relation, column, **cfg)
+    if getattr(index, "backend_name", "") != name:
+        # Stamp the *instance*, not the class: one class may back
+        # several registered names (e.g. differently-tuned variants),
+        # and each built index should report the name it was built as.
+        try:
+            index.backend_name = name
+        except (AttributeError, TypeError):  # pragma: no cover - frozen types
+            pass
+    return index

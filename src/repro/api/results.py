@@ -1,0 +1,75 @@
+"""Canonical result types of the unified :class:`~repro.api.Index` protocol.
+
+Every backend — the BF-Tree and all baselines — returns these from the
+protocol operations, so harnesses, the sharded service and the CLI can
+consume any backend's output without per-kind branching:
+
+* :class:`SearchResult` from ``search`` / ``search_many``,
+* :class:`RangeScanResult` from ``range_scan`` / ``range_scan_many``,
+* :class:`DeleteOutcome` from ``delete`` / ``delete_many``.
+
+These classes used to live in :mod:`repro.core.bf_tree`, which still
+re-exports them for compatibility; the protocol layer is their home now
+because they are contract types, not BF-Tree internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one point probe."""
+
+    found: bool
+    matches: int = 0
+    pages_read: int = 0
+    false_pages: int = 0
+    tids: list[int] = field(default_factory=list)
+
+
+@dataclass
+class RangeScanResult:
+    """Outcome of one range scan."""
+
+    matches: int
+    pages_read: int
+    leaves_visited: int
+
+
+@dataclass(frozen=True)
+class DeleteOutcome:
+    """Outcome of one index delete (truthy when the key was removed).
+
+    ``tombstoned`` records the *mechanism*: True when the delete was
+    realized as a logical tombstone the index must filter on later reads
+    (BF-Tree plain filters, the FD-Tree's logarithmic deletes, a
+    counting BF-Tree without a ``pid``) rather than a physical removal —
+    the distinction §7's fpp accounting cares about, since tombstones
+    and in-place removal degrade a filter differently.
+    """
+
+    removed: bool
+    tombstoned: bool = False
+
+    def __bool__(self) -> bool:
+        return self.removed
+
+
+def normalize_scan_windows(windows) -> list[tuple]:
+    """Canonicalize a batch of ``(lo, hi)`` scan windows.
+
+    NumPy scalars are unwrapped to Python values and every window is
+    validated (``lo > hi`` raises, with the scalar paths' message)
+    before any I/O is charged — shared by every ``range_scan_many``
+    engine and the sharded scan planner.
+    """
+    wins: list[tuple] = []
+    for lo, hi in windows:
+        lo = lo.item() if hasattr(lo, "item") else lo
+        hi = hi.item() if hasattr(hi, "item") else hi
+        if lo > hi:
+            raise ValueError(f"empty range: lo={lo} > hi={hi}")
+        wins.append((lo, hi))
+    return wins

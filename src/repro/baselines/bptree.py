@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.bf_tree import (
+from repro.api.protocol import Capabilities, IndexBackend
+from repro.api.results import (
+    DeleteOutcome,
     RangeScanResult,
     SearchResult,
     normalize_scan_windows,
@@ -88,7 +90,7 @@ class BPLeaf:
         return None
 
 
-class BPlusTree:
+class BPlusTree(IndexBackend):
     """Classic disk-oriented B+-Tree over a relation column."""
 
     def __init__(
@@ -271,32 +273,42 @@ class BPlusTree:
                 break
         return self._fetch_tids(key, sorted(tids))
 
-    def search_many(self, keys,
-                    latency_sink: list[float] | None = None
-                    ) -> list[SearchResult]:
-        """Batch counterpart of :meth:`search` (same protocol as BF-Tree).
+    # search_many / insert_many / delete_many come from BatchFallbackMixin:
+    # the exact index has no per-filter fan-out to vectorize — a probe is
+    # one descent, one binary search and the rid fetch — so the generic
+    # scalar loop *is* the batch engine, with identical I/O charging and
+    # per-op latency_sink accounting to BFTree's vectorized paths.
 
-        The exact index has no per-filter fan-out to vectorize — a probe
-        is one descent, one binary search and the rid fetch — so this is
-        the per-key loop with the same I/O charging, kept so harness
-        sweeps (``run_probes(..., batch=True)``) stay apples-to-apples
-        when comparing against ``BFTree.search_many``.  ``latency_sink``
-        receives one simulated per-key latency per probe, as BF-Tree's
-        batch path does.
-        """
-        clock = (
+    def _sim_clock(self):
+        return (
             self.store.device.clock if self.store.device is not None else None
         )
-        track = latency_sink is not None and clock is not None
-        results = []
-        for k in keys:
-            start = clock.now() if track else 0.0
-            results.append(self.search(k.item() if hasattr(k, "item") else k))
-            if track:
-                latency_sink.append(clock.now() - start)
-        if latency_sink is not None and not track:
-            latency_sink.extend(0.0 for _ in results)
-        return results
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(ordered=True, mutable=True, scannable=True,
+                            unique=self.unique)
+
+    supports_sharding = True
+
+    def shard_leaves(self) -> list:
+        """Leaf chain in key order, ready for ShardedIndex slicing."""
+        return [self.leaves[lid] for lid in self._leaf_order]
+
+    def shard_from_leaves(self, run: list) -> "BPlusTree":
+        return BPlusTree.from_leaves(
+            self.relation, self.key_column, run,
+            config=self.config, unique=self.unique,
+        )
+
+    @staticmethod
+    def shard_leaf_span(leaf) -> tuple:
+        return (leaf.keys[0], leaf.keys[-1])
+
+    @staticmethod
+    def shard_cut_spans(left, right) -> bool:
+        if not left.keys or not right.keys:
+            return True
+        return right.keys[0] == left.keys[-1]
 
     def _descend_and_read(self, key) -> BPLeaf | None:
         try:
@@ -394,59 +406,18 @@ class BPlusTree:
         if leaf.bytes_used(ksz, psz) > self.config.page_size:
             self._split_leaf(leaf)
 
-    def insert_many(self, keys, tids,
-                    latency_sink: list[float] | None = None) -> None:
-        """Batch counterpart of :meth:`insert` (same protocol as BF-Tree).
+    def delete(self, key, tid: int | None = None) -> DeleteOutcome:
+        """Remove one rid (or the whole entry when ``tid`` is None).
 
-        The exact index has no per-key hashing to vectorize — an insert
-        is one descent, one binary search and a list insert — so this is
-        the per-key loop with identical I/O charging, kept so the write
-        path of service benchmarks stays apples-to-apples with
-        ``BFTree.insert_many``.  ``latency_sink`` receives one simulated
-        per-op latency per insert, as the batch write engine reports.
+        B+-Tree deletes are physical (the entry leaves the leaf), so the
+        outcome is never ``tombstoned``.
         """
-        clock = (
-            self.store.device.clock if self.store.device is not None else None
-        )
-        track = latency_sink is not None and clock is not None
-        for key, tid in zip(keys, tids):
-            start = clock.now() if track else 0.0
-            self.insert(key.item() if hasattr(key, "item") else key, int(tid))
-            if track:
-                latency_sink.append(clock.now() - start)
-        if latency_sink is not None and not track:
-            latency_sink.extend(0.0 for _ in keys)
-
-    def delete_many(self, keys, tids=None,
-                    latency_sink: list[float] | None = None) -> list[bool]:
-        """Batch :meth:`delete`; per-op latencies via ``latency_sink``."""
-        n = len(keys)
-        tids = [None] * n if tids is None else list(tids)
-        clock = (
-            self.store.device.clock if self.store.device is not None else None
-        )
-        track = latency_sink is not None and clock is not None
-        outcomes: list[bool] = []
-        for key, tid in zip(keys, tids):
-            start = clock.now() if track else 0.0
-            outcomes.append(self.delete(
-                key.item() if hasattr(key, "item") else key,
-                tid=None if tid is None else int(tid),
-            ))
-            if track:
-                latency_sink.append(clock.now() - start)
-        if latency_sink is not None and not track:
-            latency_sink.extend(0.0 for _ in keys)
-        return outcomes
-
-    def delete(self, key, tid: int | None = None) -> bool:
-        """Remove one rid (or the whole entry when ``tid`` is None)."""
         leaf = self._descend_and_read(key)
         if leaf is None:
-            return False
+            return DeleteOutcome(removed=False)
         slot = leaf.find(key)
         if slot is None:
-            return False
+            return DeleteOutcome(removed=False)
         if tid is None:
             leaf.keys.pop(slot)
             leaf.ridlists.pop(slot)
@@ -454,12 +425,12 @@ class BPlusTree:
             try:
                 leaf.ridlists[slot].remove(tid)
             except ValueError:
-                return False
+                return DeleteOutcome(removed=False)
             if not leaf.ridlists[slot]:
                 leaf.keys.pop(slot)
                 leaf.ridlists.pop(slot)
         self.store.write(leaf.node_id)
-        return True
+        return DeleteOutcome(removed=True)
 
     def _split_leaf(self, leaf: BPLeaf) -> None:
         mid = max(1, len(leaf.keys) // 2)

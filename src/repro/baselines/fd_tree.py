@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bf_tree import SearchResult
+from repro.api.protocol import Capabilities, IndexBackend
+from repro.api.results import DeleteOutcome, SearchResult
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.clock import CPU_KEY_COMPARE
 from repro.storage.config import StorageStack
@@ -69,8 +70,16 @@ class FDTreeConfig:
         return min(ratio, 256)
 
 
-class FDTree:
-    """Head tree + logarithmically growing sorted levels."""
+class FDTree(IndexBackend):
+    """Head tree + logarithmically growing sorted levels.
+
+    Conforms to the unified :class:`repro.api.Index` protocol: batch
+    operations come from the generic scalar-loop fallback, deletes
+    insert tombstone records and return
+    :class:`~repro.api.DeleteOutcome`, and range scans raise
+    :class:`~repro.api.UnsupportedOperationError` (not implemented
+    here; the paper only evaluates FD-Tree point probes).
+    """
 
     def __init__(
         self,
@@ -168,19 +177,48 @@ class FDTree:
         if self._index_device is not None:
             self._index_device.clock.advance(seconds)
 
+    def capabilities(self) -> Capabilities:
+        return Capabilities(ordered=True, mutable=True, scannable=False,
+                            unique=self.unique)
+
+    def _sim_clock(self):
+        return (
+            self._index_device.clock if self._index_device is not None
+            else None
+        )
+
     # ==================================================================
     # point search
     # ==================================================================
-    def search(self, key) -> SearchResult:
-        """Binary-search the head, then one page read per level.
+    @staticmethod
+    def _absorb(raw: list[int], tids: list[int], dead: set[int]) -> None:
+        """Fold one level's matches into the live/dead sets.
 
-        Fence-only levels (created by bulk load or left behind by merges)
-        still cost a read each: the fences live in their pages and the
-        descent passes through them.
+        Tombstones (negative records) register their victim as dead;
+        a live tid already absorbed from a *shallower* (more recent)
+        level stays live — shallowness is recency, so an entry
+        reinserted above a deeper tombstone survives it.
+        """
+        for t in raw:
+            if t < 0:
+                dead.add(-t - 1)
+            elif t not in dead:
+                tids.append(t)
+
+    def _descend_live(self, key, stop_early: bool = False) -> list[int]:
+        """The probe descent: head + one page read per level, absorbing
+        tombstones shallow-to-deep; returns the live tids of ``key``.
+
+        Fence-only levels (created by bulk load or left behind by
+        merges) still cost a read each: the fences live in their pages
+        and the descent passes through them.  ``stop_early`` stops at
+        the first live match (unique-key probes).  Shared by
+        :meth:`search` and :meth:`delete`, which both pay this descent.
         """
         tids: list[int] = []
+        dead: set[int] = set()
         self._charge_cpu(math.log2(max(2, len(self.head) or 2)) * CPU_KEY_COMPARE)
-        tids.extend(t for k, t in self._head_matches(key))
+        self._absorb([t for k, t in self._head_matches(key)], tids, dead)
         deepest = max(
             (i for i, level in enumerate(self.levels) if level), default=-1
         )
@@ -198,15 +236,23 @@ class FDTree:
             self._charge_cpu(
                 math.log2(max(2, self.config.entries_per_page)) * CPU_KEY_COMPARE
             )
-            tids.extend(matches)
-            if tids and self.unique:
+            self._absorb(matches, tids, dead)
+            if tids and stop_early:
                 break
+        return sorted(set(tids))
+
+    def search(self, key) -> SearchResult:
+        """Binary-search the head, then one page read per level."""
+        tids = self._descend_live(key, stop_early=self.unique)
         if not tids:
             return SearchResult(found=False)
-        return self._fetch_tids(key, sorted(set(tids)))
+        return self._fetch_tids(key, tids)
 
     def _head_matches(self, key) -> list[tuple[object, int]]:
-        i = bisect.bisect_left(self.head, (key, -1))
+        # (key,) sorts before (key, t) for every t, so the scan starts
+        # at the first record of the key — tombstones (large negative
+        # tids) included, which bisecting from (key, -1) would skip.
+        i = bisect.bisect_left(self.head, (key,))
         out = []
         while i < len(self.head) and self.head[i][0] == key:
             out.append(self.head[i])
@@ -215,7 +261,7 @@ class FDTree:
 
     def _level_matches(self, level: list, key) -> tuple[list[int], int]:
         """(matching tids, page offset within the level) via fences."""
-        i = bisect.bisect_left(level, (key, -1))
+        i = bisect.bisect_left(level, (key,))
         page_off = min(i, len(level) - 1) // self.config.entries_per_page
         matches = []
         while i < len(level) and level[i][0] == key:
@@ -271,7 +317,17 @@ class FDTree:
     # updates: logarithmic merges
     # ==================================================================
     def insert(self, key, tid: int) -> None:
-        """Insert into the head tree; cascade merges when levels overflow."""
+        """Insert into the head tree; cascade merges when levels overflow.
+
+        A pending tombstone for the same record (a delete not yet merged
+        out of the head) is annihilated instead: the reinsert cancels it,
+        so the entry stays visible (recency wins).
+        """
+        tid = int(tid)
+        tomb = (key, -tid - 1)
+        i = bisect.bisect_left(self.head, tomb)
+        if i < len(self.head) and self.head[i] == tomb:
+            self.head.pop(i)
         bisect.insort(self.head, (key, tid))
         head_capacity = self.config.head_pages * self.config.entries_per_page
         if len(self.head) > head_capacity:
@@ -298,20 +354,67 @@ class FDTree:
 
     @staticmethod
     def _sorted_merge(a: list, b: list) -> list:
-        out: list = []
+        """Merge two sorted runs, annihilating tombstone/entry pairs.
+
+        When a tombstone ``(key, -t-1)`` and its entry ``(key, t)`` meet
+        in the merged run, both are dropped — the FD-Tree's merge-time
+        delete.  Without it a delete that later migrated below a
+        reinserted entry would mask it again, breaking the recency
+        semantics the probe path's shallow-to-deep absorb implements.
+        Exact duplicate records collapse (they are one logical entry).
+        """
+        merged: list = []
         i = j = 0
         while i < len(a) and j < len(b):
             if a[i] <= b[j]:
-                out.append(a[i]); i += 1
+                merged.append(a[i]); i += 1
             else:
-                out.append(b[j]); j += 1
-        out.extend(a[i:])
-        out.extend(b[j:])
+                merged.append(b[j]); j += 1
+        merged.extend(a[i:])
+        merged.extend(b[j:])
+        out: list = []
+        start = 0
+        while start < len(merged):
+            end = start
+            key = merged[start][0]
+            while end < len(merged) and merged[end][0] == key:
+                end += 1
+            group = merged[start:end]
+            tombs = {-t - 1 for k, t in group if t < 0}
+            live = {t for k, t in group if t >= 0}
+            matched = tombs & live
+            seen: set = set()
+            for record in group:
+                t = record[1]
+                victim = -t - 1 if t < 0 else t
+                if victim in matched or record in seen:
+                    continue
+                seen.add(record)
+                out.append(record)
+            start = end
         return out
 
-    def delete(self, key, tid: int) -> None:
-        """FD-Trees delete by inserting a tombstone record."""
-        bisect.insort(self.head, (key, -tid - 1))  # negative tid = tombstone
+    def delete(self, key, tid: int | None = None) -> DeleteOutcome:
+        """FD-Trees delete by inserting tombstone records (the
+        logarithmic method's write-optimized delete).
+
+        ``tid=None`` tombstones every live entry of ``key``.  Finding
+        the victims pays the same descent a probe pays (one page read
+        per level — the liveness check inspects the same structures
+        :meth:`search` charges for).  The outcome is ``tombstoned``
+        whenever something was removed — the entries stay physically
+        present until a merge annihilates them.
+        """
+        live = self._descend_live(key, stop_early=self.unique)
+        if tid is None:
+            victims = live
+        else:
+            victims = [int(tid)] if int(tid) in live else []
+        if not victims:
+            return DeleteOutcome(removed=False)
+        for t in victims:
+            bisect.insort(self.head, (key, -t - 1))  # negative tid = tombstone
+        return DeleteOutcome(removed=True, tombstoned=True)
 
     # ==================================================================
     # size accounting

@@ -13,15 +13,23 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.core.bf_tree import SearchResult
+from repro.api.protocol import Capabilities, IndexBackend
+from repro.api.results import DeleteOutcome, SearchResult
 from repro.storage.clock import CPU_HASH_PROBE
 from repro.storage.config import StorageStack
 from repro.storage.device import PAGE_SIZE, Device
 from repro.storage.relation import Relation
 
 
-class HashIndex:
-    """Exact key -> rid-list map held in main memory."""
+class HashIndex(IndexBackend):
+    """Exact key -> rid-list map held in main memory.
+
+    Conforms to the unified :class:`repro.api.Index` protocol: batch
+    operations come from the generic scalar-loop fallback, deletes
+    return :class:`~repro.api.DeleteOutcome`, and range scans raise
+    :class:`~repro.api.UnsupportedOperationError` (a hash index is
+    unordered and unscannable).
+    """
 
     #: Typical open-addressing overhead on top of raw entry bytes.
     LOAD_FACTOR = 0.7
@@ -67,6 +75,13 @@ class HashIndex:
         self._data_device = None
         self._clock = None
 
+    def capabilities(self) -> Capabilities:
+        return Capabilities(ordered=False, mutable=True, scannable=False,
+                            unique=self.unique)
+
+    def _sim_clock(self):
+        return self._clock
+
     # ------------------------------------------------------------------
     def search(self, key) -> SearchResult:
         """Constant-time probe, then fetch matching data pages."""
@@ -91,19 +106,20 @@ class HashIndex:
     def insert(self, key, tid: int) -> None:
         self._map[key].append(tid)
 
-    def delete(self, key, tid: int | None = None) -> bool:
+    def delete(self, key, tid: int | None = None) -> DeleteOutcome:
+        """Physical removal from the map; never tombstoned."""
         if key not in self._map:
-            return False
+            return DeleteOutcome(removed=False)
         if tid is None:
             del self._map[key]
-            return True
+            return DeleteOutcome(removed=True)
         try:
             self._map[key].remove(tid)
         except ValueError:
-            return False
+            return DeleteOutcome(removed=False)
         if not self._map[key]:
             del self._map[key]
-        return True
+        return DeleteOutcome(removed=True)
 
     # ------------------------------------------------------------------
     @property

@@ -15,15 +15,23 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bf_tree import SearchResult
+from repro.api.protocol import Capabilities, IndexBackend
+from repro.api.results import SearchResult
 from repro.storage.config import StorageStack
 from repro.storage.device import Device
 from repro.storage.relation import Relation
 
 
 @dataclass
-class SortedFileSearch:
-    """Index-free point search on a relation sorted by ``key_column``."""
+class SortedFileSearch(IndexBackend):
+    """Index-free point search on a relation sorted by ``key_column``.
+
+    Conforms to the unified :class:`repro.api.Index` protocol as an
+    immutable, unscannable backend (the data file cannot be written
+    through an index that does not exist); ``search`` defaults to
+    binary search, with :meth:`interpolation_search` as the alternative
+    entry point.
+    """
 
     relation: Relation
     key_column: str
@@ -44,6 +52,15 @@ class SortedFileSearch:
 
     def unbind(self) -> None:
         self._data_device = None
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(ordered=True, mutable=False, scannable=False,
+                            unique=self.unique)
+
+    def _sim_clock(self):
+        return (
+            self._data_device.clock if self._data_device is not None else None
+        )
 
     # ------------------------------------------------------------------
     def _page_first_key(self, pid: int):

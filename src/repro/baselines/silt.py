@@ -22,7 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bf_tree import SearchResult
+from repro.api.protocol import Capabilities, IndexBackend
+from repro.api.results import SearchResult
 from repro.storage.clock import CPU_KEY_COMPARE
 from repro.storage.config import StorageStack
 from repro.storage.device import PAGE_SIZE, Device
@@ -48,8 +49,16 @@ class SiltConfig:
         return max(1, int(self.page_size / entry))
 
 
-class SiltStore:
-    """Sorted store + in-memory trie; point queries only."""
+class SiltStore(IndexBackend):
+    """Sorted store + in-memory trie; point queries only.
+
+    Conforms to the unified :class:`repro.api.Index` protocol as an
+    immutable, unscannable backend: ``search``/``search_many`` work,
+    while ``insert``/``delete``/``range_scan`` raise
+    :class:`~repro.api.UnsupportedOperationError` — SILT's sorted store
+    is write-once and supports only point queries, the limitation the
+    BF-Tree paper stresses in §5.
+    """
 
     def __init__(
         self,
@@ -96,6 +105,16 @@ class SiltStore:
         if self._index_device is not None:
             self._index_device.clock.advance(seconds)
 
+    def capabilities(self) -> Capabilities:
+        return Capabilities(ordered=True, mutable=False, scannable=False,
+                            unique=self.unique)
+
+    def _sim_clock(self):
+        return (
+            self._index_device.clock if self._index_device is not None
+            else None
+        )
+
     # ------------------------------------------------------------------
     def search(self, key) -> SearchResult:
         """Trie walk (CPU, or one read when uncached) + one store read."""
@@ -133,11 +152,9 @@ class SiltStore:
             result.pages_read += 1
         return result
 
-    def range_scan(self, lo, hi):
-        """SILT is a point-query store (paper §5)."""
-        raise NotImplementedError(
-            "SILT supports only point queries; see BF-Tree paper §5"
-        )
+    # insert / delete / range_scan: inherited capability-gated defaults
+    # raise UnsupportedOperationError (a NotImplementedError subclass) —
+    # SILT supports only point queries (paper §5).
 
     # ------------------------------------------------------------------
     @property

@@ -24,13 +24,8 @@ import json
 import sys
 from typing import Callable, Sequence
 
-from repro.baselines import (
-    BPlusTree,
-    FDTree,
-    HashIndex,
-    SiltStore,
-    SortedFileSearch,
-)
+from repro.api import make_index, registered_backends
+from repro.baselines import BPlusTree
 from repro.core import BFTree, BFTreeConfig
 from repro.harness import (
     break_even_table,
@@ -93,22 +88,13 @@ def _build_relation(args: argparse.Namespace):
 
 def _build_index(kind: str, relation, column: str, fpp: float,
                  unique: bool):
-    builders: dict[str, Callable] = {
-        "bf": lambda: BFTree.bulk_load(
-            relation, column, BFTreeConfig(fpp=fpp), unique=unique
-        ),
-        "bplus": lambda: BPlusTree.bulk_load(relation, column, unique=unique),
-        "hash": lambda: HashIndex.build(relation, column, unique=unique),
-        "fd": lambda: FDTree.bulk_load(relation, column, unique=unique),
-        "silt": lambda: SiltStore.build(relation, column),
-        "binsearch": lambda: SortedFileSearch(relation, column, unique=unique),
-    }
+    """Thin registry lookup: every registered backend is buildable here,
+    and the error path lists the same names ``--index`` advertises (one
+    source of truth — :func:`repro.api.registered_backends`)."""
     try:
-        return builders[kind]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown index {kind!r}; pick from {sorted(builders)}"
-        )
+        return make_index(kind, relation, column, unique=unique, fpp=fpp)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 # ----------------------------------------------------------------------
@@ -144,10 +130,12 @@ def cmd_probe(args: argparse.Namespace) -> int:
     configs = (
         [CONFIGS_BY_NAME[args.config]] if args.config else list(FIVE_CONFIGS)
     )
-    # Report the *effective* mode: run_probes falls back to the scalar
-    # loop for indexes without a search_many.
-    batch = args.batch and hasattr(index, "search_many")
+    # The Index protocol guarantees search_many on every backend (the
+    # generic scalar-loop fallback where no vectorized engine exists),
+    # so --batch works uniformly instead of silently degrading.
+    batch = args.batch
     rows = []
+    payload = []
     for config in configs:
         stats = run_probes(index, probes, config, warm=args.warm,
                            batch=batch)
@@ -158,6 +146,20 @@ def cmd_probe(args: argparse.Namespace) -> int:
             f"{stats.index_reads_per_search:.2f}",
             f"{stats.hit_rate:.0%}",
         ])
+        payload.append({
+            "index": args.index,
+            "workload": args.workload,
+            "column": column,
+            "config": config.name,
+            "batch": batch,
+            "warm": args.warm,
+            "n_probes": stats.n_probes,
+            "hit_rate": stats.hit_rate,
+            "avg_latency_us": us(stats.avg_latency),
+            "false_reads_per_search": stats.false_reads_per_search,
+            "data_reads_per_search": stats.data_reads_per_search,
+            "index_reads_per_search": stats.index_reads_per_search,
+        })
     size = getattr(index, "size_pages", 0)
     print(format_table(
         ["config", "latency (us)", "false reads", "data reads",
@@ -166,6 +168,9 @@ def cmd_probe(args: argparse.Namespace) -> int:
         title=f"{args.index} probe on {args.workload}.{column} "
               f"({size} index pages, warm={args.warm}, batch={batch})",
     ))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
     return 0
 
 
@@ -238,12 +243,16 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     rows = []
     reports = []
     for n_shards in args.shards:
-        service = ShardedIndex.build(
-            relation, column, n_shards=n_shards, kind=args.index,
-            config=BFTreeConfig(fpp=args.fpp[0]) if args.index == "bf"
-            else None,
-            unique=unique,
-        )
+        # Registry-driven build: any registered backend serves; the
+        # builder consumes fpp where it applies (BF) and ignores it
+        # elsewhere.  Unshardable backends come back as one shard.
+        try:
+            service = ShardedIndex.build(
+                relation, column, n_shards=n_shards, kind=args.index,
+                fpp=args.fpp[0], unique=unique,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
         report = run_service(
             service, trace, config, warm=args.warm,
             batch=not args.no_batch,
@@ -272,6 +281,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     ))
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
     return 0
 
 
@@ -331,8 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_probe = sub.add_parser("probe", help="measure point probes")
     _add_common(p_probe)
     p_probe.add_argument("--index", default="bf",
-                         choices=["bf", "bplus", "hash", "fd", "silt",
-                                  "binsearch"])
+                         choices=registered_backends(),
+                         help="index backend (from the repro.api registry)")
     p_probe.add_argument("--config", default=None,
                          choices=sorted(CONFIGS_BY_NAME))
     p_probe.add_argument("--probes", type=int, default=200)
@@ -340,8 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_probe.add_argument("--warm", action="store_true")
     p_probe.add_argument("--batch", action="store_true",
                          help="replay the probe set through the index's "
-                              "search_many (vectorized batch-probe engine; "
-                              "same simulated results, much faster to run)")
+                              "search_many (vectorized batch-probe engine "
+                              "where one exists, the protocol's bit-"
+                              "identical scalar-loop fallback elsewhere; "
+                              "same simulated results on every backend)")
+    p_probe.add_argument("--out", default=None,
+                         help="write the per-config probe stats as JSON "
+                              "to this file")
     p_probe.set_defaults(func=cmd_probe)
 
     p_sweep = sub.add_parser("sweep", help="fpp sweep + break-even analysis")
@@ -361,7 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sharded service: throughput + tail latency vs shard count",
     )
     _add_common(p_serve)
-    p_serve.add_argument("--index", default="bf", choices=["bf", "bplus"])
+    p_serve.add_argument("--index", default="bf",
+                         choices=registered_backends(),
+                         help="index backend (every registered backend "
+                              "serves; leaf-sliceable trees are range-"
+                              "partitioned, the rest run single-shard)")
     p_serve.add_argument("--shards", type=int, nargs="+",
                          default=[1, 2, 4, 8],
                          help="shard counts to measure")
@@ -401,6 +422,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay shards on a thread pool of this size")
     p_serve.add_argument("--json", action="store_true",
                          help="also print the full reports as JSON")
+    p_serve.add_argument("--out", default=None,
+                         help="write the full JSON reports to this file")
     # The sweep grid's 0.2 head would drown the service in false reads;
     # serve at the paper's accurate end instead.
     p_serve.set_defaults(func=cmd_serve_bench, fpp=[1e-3])

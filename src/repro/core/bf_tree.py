@@ -49,11 +49,18 @@ data device.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Sequence
 
 import numpy as np
 
+from repro.api.protocol import Capabilities, IndexBackend
+from repro.api.results import (
+    DeleteOutcome,
+    RangeScanResult,
+    SearchResult,
+    normalize_scan_windows,
+)
 from repro.core.bf_leaf import (
     DUPLICATE_TRUST_MAX_FPP,
     LEAF_HEADER_BYTES,
@@ -116,64 +123,17 @@ class BFTreeConfig:
             )
 
 
-@dataclass
-class SearchResult:
-    """Outcome of one point probe."""
-
-    found: bool
-    matches: int = 0
-    pages_read: int = 0
-    false_pages: int = 0
-    tids: list[int] = field(default_factory=list)
-
-
-@dataclass
-class RangeScanResult:
-    """Outcome of one range scan."""
-
-    matches: int
-    pages_read: int
-    leaves_visited: int
+# Canonical result types live in the protocol layer (repro.api.results);
+# re-exported here because this was their historical home and the whole
+# codebase imports them from repro.core.bf_tree.
+__all__ = [
+    "BFTree", "BFTreeConfig", "SearchResult", "RangeScanResult",
+    "DeleteOutcome", "normalize_scan_windows",
+    "SKEW_GUARD_FPP", "FALSE_PAGE_BUDGET",
+]
 
 
-def normalize_scan_windows(windows) -> list[tuple]:
-    """Canonicalize a batch of ``(lo, hi)`` scan windows.
-
-    NumPy scalars are unwrapped to Python values and every window is
-    validated (``lo > hi`` raises, with the scalar paths' message)
-    before any I/O is charged — shared by every ``range_scan_many``
-    engine and the sharded scan planner.
-    """
-    wins: list[tuple] = []
-    for lo, hi in windows:
-        lo = lo.item() if hasattr(lo, "item") else lo
-        hi = hi.item() if hasattr(hi, "item") else hi
-        if lo > hi:
-            raise ValueError(f"empty range: lo={lo} > hi={hi}")
-        wins.append((lo, hi))
-    return wins
-
-
-@dataclass(frozen=True)
-class DeleteOutcome:
-    """Outcome of one index delete (truthy when the key was removed).
-
-    ``tombstoned`` records the *mechanism*: True when the key landed on
-    the leaf's deleted-key list (always, for plain filters; for counting
-    filters only when the caller omitted ``pid`` and the in-place
-    counter decrement was impossible — the fallback §7's fpp accounting
-    cares about, since tombstones and counter decrements degrade the
-    filter differently).
-    """
-
-    removed: bool
-    tombstoned: bool = False
-
-    def __bool__(self) -> bool:
-        return self.removed
-
-
-class BFTree:
+class BFTree(IndexBackend):
     """Approximate tree index over an ordered/partitioned relation."""
 
     def __init__(
@@ -575,6 +535,49 @@ class BFTree:
         if self.store.device is not None:
             return self.store.device.stats
         return None
+
+    # ==================================================================
+    # Index protocol surface (repro.api)
+    # ==================================================================
+    def capabilities(self) -> Capabilities:
+        return Capabilities(ordered=self.ordered, mutable=True,
+                            scannable=True, unique=self.unique)
+
+    def write_target(self, tid: int) -> int:
+        """BF-Trees index data *pages*: the write target of tuple ``tid``
+        is its page id (rid-based backends keep the tuple id)."""
+        return self.relation.page_of(int(tid))
+
+    def _sim_clock(self):
+        return self._clock()
+
+    supports_sharding = True
+
+    def shard_leaves(self) -> list:
+        """Leaf chain in key order, ready for ShardedIndex slicing."""
+        if not self.ordered:
+            raise ValueError(
+                "ShardedIndex requires an ordered column (partitioned "
+                "data would probe neighbour leaves across shard borders)"
+            )
+        return [self.leaves[lid] for lid in self._leaf_order]
+
+    def shard_from_leaves(self, run: list) -> "BFTree":
+        return BFTree.from_leaves(
+            self.relation, self.key_column, run,
+            config=self.config, unique=self.unique, ordered=self.ordered,
+            geometry=self.geometry, avg_cardinality=self._avg_cardinality,
+        )
+
+    @staticmethod
+    def shard_leaf_span(leaf) -> tuple:
+        return (leaf.min_key, leaf.max_key)
+
+    @staticmethod
+    def shard_cut_spans(left, right) -> bool:
+        if getattr(right, "spill_back_pages", 0):
+            return True
+        return right.min_key is not None and right.min_key == left.max_key
 
     # ==================================================================
     # point search (Algorithm 1)

@@ -60,16 +60,16 @@ def run_probes(
     paper's O_DIRECT runs.  ``warm`` prefaults internal index nodes.
 
     ``batch=True`` replays the whole probe set through the index's
-    ``search_many`` — the vectorized batch-probe engine.  Simulated
-    results (per-probe outcomes, IOStats, clock charges) are identical
-    to the per-key loop; only the interpreter-level wall-clock drops.
-    Every charge on the search path declares its access pattern
-    explicitly, so skipping the per-probe head reset changes nothing.
-    Indexes without a ``search_many`` (the non-tree baselines) fall back
-    to the per-key loop, which is identical by the same contract.
+    ``search_many``.  The Index protocol (:mod:`repro.api`) guarantees
+    it on every backend: a vectorized batch-probe engine where one
+    exists (BF-Tree, B+-Tree), the bit-identical generic scalar-loop
+    fallback everywhere else.  Simulated results (per-probe outcomes,
+    IOStats, clock charges) are identical to the per-key loop; only the
+    interpreter-level wall-clock changes.  Every charge on the search
+    path declares its access pattern explicitly, so skipping the
+    per-probe head reset changes nothing.
     """
     keys = probes.keys if isinstance(probes, ProbeSet) else np.asarray(probes)
-    batch = batch and hasattr(index, "search_many")
     stack = build_stack(config)
     index.bind(stack, warm=warm)
     try:

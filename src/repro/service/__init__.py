@@ -1,4 +1,4 @@
-"""Sharded index service: partitioned serving layer over the BF-Tree.
+"""Sharded index service: the backend-agnostic partitioned serving layer.
 
 The production-facing subsystem: a :class:`ShardedIndex` range-partitions
 one indexed column across N independent shards (each with its own
@@ -7,6 +7,11 @@ read/insert/scan batches per shard and dispatches them through the
 vectorized batch-probe *and* batch-write engines (optionally on a
 thread pool), and :class:`ServiceStats` merges per-shard IOStats and
 folds per-op simulated latencies into p50/p95/p99 summaries.
+
+Everything here speaks the unified Index protocol (:mod:`repro.api`):
+any registered backend serves — leaf-sliceable trees (BF, B+) are
+range-partitioned, the rest run as a single-shard degenerate case —
+with no backend-specific branches in the service code.
 """
 
 from repro.service.router import Router

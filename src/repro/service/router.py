@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.bf_tree import RangeScanResult, SearchResult
+from repro.api.results import RangeScanResult, SearchResult
 from repro.service.sharded import ShardedIndex
 from repro.service.stats import ServiceStats
 from repro.workloads.mixed import OP_INSERT, OP_READ, OP_SCAN, MixedTrace

@@ -1,11 +1,22 @@
 """ShardedIndex: one key space range-partitioned across N index shards.
 
 The serving layer's core data structure.  A :class:`ShardedIndex` holds N
-independent index shards (BF-Trees or the exact B+-Tree baseline), each
-owning a contiguous slice of the key space and — once bound — its *own*
-storage stack (device pair, simulated clock, optional buffer pool), so
-shards progress concurrently the way the partitions of a distributed
-index do.
+independent index shards, each owning a contiguous slice of the key
+space and — once bound — its *own* storage stack (device pair, simulated
+clock, optional buffer pool), so shards progress concurrently the way
+the partitions of a distributed index do.
+
+**Backend-agnostic.**  Shards are built through the
+:mod:`repro.api` registry (``kind`` is any registered backend name) and
+driven purely through the unified Index protocol — there are no
+backend-specific branches here.  Leaf-sliceable ordered trees
+(``supports_sharding``: BF-Tree, B+-Tree) are partitioned via their
+``shard_leaves``/``shard_from_leaves`` hooks; every other backend
+(hash, FD-Tree, SILT, binsearch) serves as a single-shard degenerate
+case, so the whole registry is servable under identical traffic.
+Write addressing goes through ``index.write_target(tid)`` — the
+protocol hook that maps a tuple id to the backend's native target
+(page id for BF-Trees, rid for everything else).
 
 **Construction is equivalence-preserving.**  ``build`` bulk-loads one
 donor index over the whole relation, then slices its leaf chain into
@@ -38,10 +49,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.bptree import BPlusTree, BPlusTreeConfig
-from repro.core.bf_tree import (
-    BFTree,
-    BFTreeConfig,
+from repro.api.protocol import Index
+from repro.api.registry import make_index
+from repro.api.results import (
     RangeScanResult,
     SearchResult,
     normalize_scan_windows,
@@ -50,14 +60,12 @@ from repro.storage.config import StorageConfig, StorageStack, build_stack
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
 
-KINDS = ("bf", "bplus")
-
 
 @dataclass
 class Shard:
     """One partition: an index over a contiguous key slice + its stack."""
 
-    index: BFTree | BPlusTree
+    index: Index
     lo_key: object          # smallest routable key (None = open left end)
     hi_key: object          # largest key at build time (introspection only;
                             # scans clamp to the routing boundary, which
@@ -101,87 +109,62 @@ class ShardedIndex:
         key_column: str,
         n_shards: int = 4,
         kind: str = "bf",
-        config: BFTreeConfig | BPlusTreeConfig | None = None,
+        config=None,
         unique: bool = False,
+        **cfg,
     ) -> "ShardedIndex":
-        """Bulk-load a donor index and slice it into up to ``n_shards``.
+        """Build a donor index via the backend registry and slice it
+        into up to ``n_shards``.
 
-        The effective shard count may be lower than requested: each
-        shard keeps at least two leaves (directory-height parity with
-        the donor) and cuts are moved off key-spanning leaf boundaries.
+        ``kind`` is any registered backend name
+        (:func:`repro.api.registered_backends`); extra keyword
+        arguments (``fpp``, ...) are forwarded to the backend's
+        builder.  Leaf-sliceable trees are partitioned with cuts moved
+        off key-spanning boundaries and each shard keeping at least two
+        leaves (directory-height parity with the donor), so the
+        effective shard count may be lower than requested.  Backends
+        without sliceable leaves come back as a single-shard service —
+        the degenerate case that still rides the Router, the batch
+        engines and the stats pipeline unchanged.
         """
-        if kind not in KINDS:
-            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if kind == "bf":
-            donor = BFTree.bulk_load(
-                relation, key_column, config, unique=unique
-            )
-            if not donor.ordered:
-                raise ValueError(
-                    "ShardedIndex requires an ordered column (partitioned "
-                    "data would probe neighbour leaves across shard borders)"
-                )
-            leaves = [donor.leaves[lid] for lid in donor._leaf_order]
-        else:
-            donor = BPlusTree.bulk_load(
-                relation, key_column, config, unique=unique
-            )
-            leaves = [donor.leaves[lid] for lid in donor._leaf_order]
+        donor = make_index(kind, relation, key_column, unique=unique,
+                           config=config, **cfg)
+        if not getattr(donor, "supports_sharding", False):
+            shards = [Shard(index=donor, lo_key=None, hi_key=None)]
+            return cls(relation, key_column, shards, kind, unique,
+                       donor.height)
+        leaves = donor.shard_leaves()
         donor_height = donor.height
-        cuts = cls._choose_cuts(leaves, n_shards, kind)
+        cuts = cls._choose_cuts(leaves, n_shards, donor)
         runs = [
             leaves[start:stop]
             for start, stop in zip([0] + cuts, cuts + [len(leaves)])
         ]
-        shards: list[Shard] = []
+        shards = []
         for i, run in enumerate(runs):
-            if kind == "bf":
-                tree: BFTree | BPlusTree = BFTree.from_leaves(
-                    relation, key_column, run,
-                    config=donor.config, unique=unique,
-                    ordered=donor.ordered,
-                    geometry=donor.geometry,
-                    avg_cardinality=donor._avg_cardinality,
-                )
-                lo = run[0].min_key
-                hi = run[-1].max_key
-            else:
-                tree = BPlusTree.from_leaves(
-                    relation, key_column, run,
-                    config=donor.config, unique=unique,
-                )
-                lo = run[0].keys[0]
-                hi = run[-1].keys[-1]
+            tree = donor.shard_from_leaves(run)
+            lo = donor.shard_leaf_span(run[0])[0]
+            hi = donor.shard_leaf_span(run[-1])[1]
             shards.append(Shard(index=tree, lo_key=None if i == 0 else lo,
                                 hi_key=hi))
         return cls(relation, key_column, shards, kind, unique, donor_height)
 
     @staticmethod
-    def _choose_cuts(leaves: list, n_shards: int, kind: str) -> list[int]:
-        """Balanced leaf-chain cut positions, adjusted off spanning keys."""
+    def _choose_cuts(leaves: list, n_shards: int, donor: Index) -> list[int]:
+        """Balanced leaf-chain cut positions, adjusted off spanning keys
+        (the backend's ``shard_cut_spans`` hook knows its leaf layout)."""
         n_leaves = len(leaves)
         n = max(1, min(n_shards, n_leaves // 2))
-
-        def spans(c: int) -> bool:
-            """True when cutting before leaf ``c`` would split a key."""
-            left, right = leaves[c - 1], leaves[c]
-            if kind == "bf":
-                if getattr(right, "spill_back_pages", 0):
-                    return True
-                return (right.min_key is not None
-                        and right.min_key == left.max_key)
-            if not left.keys or not right.keys:
-                return True
-            return right.keys[0] == left.keys[-1]
 
         cuts: list[int] = []
         prev = 0
         for s in range(1, n):
             ideal = round(s * n_leaves / n)
             c = max(ideal, prev + 2)
-            while c < n_leaves and spans(c):
+            while c < n_leaves and donor.shard_cut_spans(leaves[c - 1],
+                                                         leaves[c]):
                 c += 1
             if c >= n_leaves or n_leaves - c < 2:
                 break
@@ -298,13 +281,11 @@ class ShardedIndex:
         self.insert_on(self.shards[self.route_key(key)], key, tid)
 
     def insert_on(self, shard: Shard, key, tid: int) -> None:
-        """Kind-appropriate insert on an already-routed shard: BF-Trees
-        index data *pages*, the B+-Tree baseline indexes rids — the one
-        place that translation lives (the Router uses it too)."""
-        if self.kind == "bf":
-            shard.index.insert(key, self.relation.page_of(int(tid)))
-        else:
-            shard.index.insert(key, int(tid))
+        """Insert on an already-routed shard.  Tuple-id-to-native-target
+        translation (BF-Trees index data *pages*, rid-based backends
+        keep the tuple id) lives in the protocol's ``write_target``
+        hook, so no backend branching happens here."""
+        shard.index.insert(key, shard.index.write_target(int(tid)))
 
     def insert_many(self, keys, tids,
                     latency_sink: list[float] | None = None) -> None:
@@ -343,22 +324,17 @@ class ShardedIndex:
                        latency_sink: list[float] | None = None) -> None:
         """Batch :meth:`insert_on` for an already-routed key group —
         the Router's write-batching entry point."""
-        if self.kind == "bf":
-            pids = [self.relation.page_of(int(t)) for t in tids]
-            shard.index.insert_many(keys, pids, latency_sink=latency_sink)
-        else:
-            shard.index.insert_many(
-                keys, [int(t) for t in tids], latency_sink=latency_sink
-            )
+        targets = [shard.index.write_target(int(t)) for t in tids]
+        shard.index.insert_many(keys, targets, latency_sink=latency_sink)
 
     def delete_many(self, keys, tids=None,
                     latency_sink: list[float] | None = None) -> list:
         """Batch delete, routed like :meth:`insert_many`.
 
-        ``tids`` (tuple ids, translated to page ids for BF shards) enable
-        the counting-filter in-place path; outcomes come back aligned
-        with ``keys`` (:class:`~repro.core.bf_tree.DeleteOutcome` for BF
-        shards, bool for the B+-Tree baseline).
+        ``tids`` (tuple ids, translated per backend via ``write_target``
+        — e.g. to page ids for BF shards, enabling the counting-filter
+        in-place path) come back as
+        :class:`~repro.api.DeleteOutcome` objects aligned with ``keys``.
         """
         keys = [k.item() if hasattr(k, "item") else k for k in keys]
         n = len(keys)
@@ -371,22 +347,17 @@ class ShardedIndex:
             if not len(idx):
                 continue
             sub_keys = [keys[i] for i in idx]
-            sub_tids = [tids[i] for i in idx]
+            targets = [
+                None if tids[i] is None
+                else shard.index.write_target(int(tids[i]))
+                for i in idx
+            ]
             sub_sink: list[float] | None = (
                 [] if latency_sink is not None else None
             )
-            if self.kind == "bf":
-                pids = [
-                    None if t is None else self.relation.page_of(int(t))
-                    for t in sub_tids
-                ]
-                shard_out = shard.index.delete_many(
-                    sub_keys, pids, latency_sink=sub_sink
-                )
-            else:
-                shard_out = shard.index.delete_many(
-                    sub_keys, sub_tids, latency_sink=sub_sink
-                )
+            shard_out = shard.index.delete_many(
+                sub_keys, targets, latency_sink=sub_sink
+            )
             for j, i in enumerate(idx):
                 outcomes[i] = shard_out[j]
                 if sub_sink is not None:

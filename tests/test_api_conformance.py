@@ -1,0 +1,318 @@
+"""Protocol-conformance suite: every registered backend, one contract.
+
+Parametrized over the full backend registry (:mod:`repro.api`), these
+tests pin the unified Index protocol down:
+
+* scalar/batch **bit-identity** — ``search_many`` / ``delete_many`` /
+  ``range_scan_many`` produce exactly the per-item scalar loop's
+  results, IOStats and simulated clock, on every backend (vectorized
+  engine or generic fallback alike);
+* normalized **return types** — ``SearchResult`` / ``DeleteOutcome`` /
+  ``RangeScanResult`` everywhere;
+* **capability-gated errors** — operations outside a backend's
+  capabilities raise ``UnsupportedOperationError`` naming the missing
+  capability, never ``AttributeError``;
+* **serving equivalence** — shardable backends replay traffic
+  bit-identically sharded vs unsharded; unshardable backends serve as
+  a single-shard degenerate case whose batched replay is bit-identical
+  to per-op dispatch.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Capabilities,
+    DeleteOutcome,
+    Index,
+    RangeScanResult,
+    SearchResult,
+    UnsupportedOperationError,
+    make_index,
+    registered_backends,
+)
+from repro.harness import run_probes, run_service
+from repro.service import ShardedIndex
+from repro.storage import build_stack
+from repro.workloads import generate_trace
+
+BACKENDS = registered_backends()
+CONFIG = "MEM/SSD"
+FPP = 1e-3
+
+#: The documented capability matrix (also in the README).
+EXPECTED_CAPS = {
+    "bf": dict(ordered=True, mutable=True, scannable=True),
+    "bplus": dict(ordered=True, mutable=True, scannable=True),
+    "fd": dict(ordered=True, mutable=True, scannable=False),
+    "hash": dict(ordered=False, mutable=True, scannable=False),
+    "silt": dict(ordered=True, mutable=False, scannable=False),
+    "binsearch": dict(ordered=True, mutable=False, scannable=False),
+}
+
+MUTABLE = [n for n, c in EXPECTED_CAPS.items() if c["mutable"]]
+IMMUTABLE = [n for n, c in EXPECTED_CAPS.items() if not c["mutable"]]
+SCANNABLE = [n for n, c in EXPECTED_CAPS.items() if c["scannable"]]
+UNSCANNABLE = [n for n, c in EXPECTED_CAPS.items() if not c["scannable"]]
+SHARDABLE = ["bf", "bplus"]
+UNSHARDABLE = [n for n in BACKENDS if n not in SHARDABLE]
+
+
+def _build(name, relation, unique=True):
+    return make_index(name, relation, "pk", unique=unique, fpp=FPP)
+
+
+def _probe_keys():
+    # Hits spread over the domain plus guaranteed misses.
+    return list(range(0, 8192, 257)) + [8192, 10**7, -5]
+
+
+# ======================================================================
+# registry + protocol shape
+# ======================================================================
+def test_registry_lists_the_six_backends():
+    assert BACKENDS == sorted(EXPECTED_CAPS)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_backend_satisfies_protocol(name, pk_relation):
+    index = _build(name, pk_relation)
+    assert isinstance(index, Index)
+    assert index.backend_name == name
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_capability_descriptor(name, pk_relation):
+    caps = _build(name, pk_relation).capabilities()
+    assert isinstance(caps, Capabilities)
+    expected = EXPECTED_CAPS[name]
+    assert caps.ordered == expected["ordered"]
+    assert caps.mutable == expected["mutable"]
+    assert caps.scannable == expected["scannable"]
+    assert caps.unique is True
+
+
+def test_unknown_backend_lists_registry():
+    with pytest.raises(ValueError, match="registered backends: "):
+        make_index("lsm", None, "pk")
+
+
+def test_register_collision_errors_at_call_site():
+    """Colliding with a builtin errors immediately (the builtins load
+    before the collision check), and leaves the registry intact."""
+    from repro.api import register
+
+    with pytest.raises(ValueError, match="already registered"):
+        register("bf", lambda relation, column, **cfg: None)
+    assert registered_backends() == BACKENDS
+
+
+def test_register_and_make_custom_backend(pk_relation):
+    """The advertised extension point: register -> make_index -> serve."""
+    from repro.api import register
+    from repro.api.registry import _REGISTRY
+
+    def build(relation, column, *, unique=False, config=None, fpp=None):
+        return _build("bplus", relation, unique=unique)
+
+    try:
+        register("bplus-tuned", build)
+        index = make_index("bplus-tuned", pk_relation, "pk", unique=True)
+        # The instance reports the name it was built as, even though
+        # its class is registered under another name too.
+        assert index.backend_name == "bplus-tuned"
+        assert make_index("bplus", pk_relation, "pk").backend_name == "bplus"
+        assert "bplus-tuned" in registered_backends()
+    finally:
+        _REGISTRY.pop("bplus-tuned", None)
+
+
+# ======================================================================
+# scalar/batch bit-identity
+# ======================================================================
+@pytest.mark.parametrize("name", BACKENDS)
+def test_search_many_bit_identical_to_scalar(name, pk_relation):
+    keys = _probe_keys()
+    index = _build(name, pk_relation)
+
+    stack_s = build_stack(CONFIG)
+    index.bind(stack_s)
+    scalar = [index.search(k) for k in keys]
+    index.unbind()
+
+    stack_b = build_stack(CONFIG)
+    index.bind(stack_b)
+    sink: list[float] = []
+    batch = index.search_many(keys, latency_sink=sink)
+    index.unbind()
+
+    assert batch == scalar
+    assert all(isinstance(r, SearchResult) for r in batch)
+    assert stack_b.stats.snapshot() == stack_s.stats.snapshot()
+    assert math.isclose(stack_b.clock.now(), stack_s.clock.now(),
+                        rel_tol=1e-9)
+    assert len(sink) == len(keys)
+    assert math.isclose(sum(sink), stack_b.clock.now(), rel_tol=1e-9)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_run_probes_batch_flag_works_everywhere(name, pk_relation):
+    """probe --batch must not silently degrade on any backend."""
+    keys = np.asarray(list(range(0, 8192, 511)), dtype=np.int64)
+    index = _build(name, pk_relation)
+    scalar = run_probes(index, keys, CONFIG, batch=False)
+    batch = run_probes(index, keys, CONFIG, batch=True)
+    assert batch.hits == scalar.hits == len(keys)
+    assert batch.io == scalar.io
+    assert math.isclose(batch.avg_latency, scalar.avg_latency, rel_tol=1e-9)
+
+
+@pytest.mark.parametrize("name", MUTABLE)
+def test_delete_many_bit_identical_to_scalar(name, pk_relation):
+    targets = list(range(100, 140)) + [10**7, 10**7]  # present + missing
+    scalar_index = _build(name, pk_relation)
+    batch_index = _build(name, pk_relation)
+    s_out = [scalar_index.delete(k) for k in targets]
+    sink: list[float] = []
+    b_out = batch_index.delete_many(targets, latency_sink=sink)
+    assert b_out == s_out
+    assert all(isinstance(o, DeleteOutcome) for o in b_out)
+    assert len(sink) == len(targets)
+
+
+@pytest.mark.parametrize("name", SCANNABLE)
+def test_range_scan_many_bit_identical_to_scalar(name, pk_relation):
+    windows = [(0, 100), (4000, 4096), (8000, 9000)]
+    index = _build(name, pk_relation)
+
+    stack_s = build_stack(CONFIG)
+    index.bind(stack_s)
+    scalar = [index.range_scan(lo, hi) for lo, hi in windows]
+    index.unbind()
+
+    stack_b = build_stack(CONFIG)
+    index.bind(stack_b)
+    sink: list[float] = []
+    batch = index.range_scan_many(windows, latency_sink=sink)
+    index.unbind()
+
+    assert batch == scalar
+    assert all(isinstance(r, RangeScanResult) for r in batch)
+    assert batch[0].matches == 101
+    assert stack_b.stats.snapshot() == stack_s.stats.snapshot()
+    assert len(sink) == len(windows)
+
+
+# ======================================================================
+# normalized mutation semantics
+# ======================================================================
+@pytest.mark.parametrize("name", MUTABLE)
+def test_delete_returns_delete_outcome(name, pk_relation):
+    index = _build(name, pk_relation)
+    hit = index.delete(55)
+    assert isinstance(hit, DeleteOutcome) and hit
+    assert not index.search(55).found
+    miss = index.delete(10**9)
+    assert isinstance(miss, DeleteOutcome) and not miss
+
+
+@pytest.mark.parametrize("name", MUTABLE)
+def test_insert_roundtrip_via_write_target(name, pk_relation):
+    """The backend-agnostic write pattern the service uses."""
+    index = _build(name, pk_relation)
+    key, tid = 4242, 4242  # pk relation: key k lives at tuple k
+    index.insert(key, index.write_target(tid))
+    assert index.search(key).found
+    assert index.delete(key)
+    assert not index.search(key).found
+
+
+@pytest.mark.parametrize("name", IMMUTABLE)
+def test_immutable_backends_gate_writes(name, pk_relation):
+    index = _build(name, pk_relation)
+    with pytest.raises(UnsupportedOperationError, match="not mutable"):
+        index.insert(1, 0)
+    with pytest.raises(UnsupportedOperationError, match="not mutable"):
+        index.delete(1)
+    with pytest.raises(UnsupportedOperationError):
+        index.insert_many([1], [0])
+
+
+@pytest.mark.parametrize("name", UNSCANNABLE)
+def test_unscannable_backends_gate_scans(name, pk_relation):
+    index = _build(name, pk_relation)
+    with pytest.raises(UnsupportedOperationError, match="not scannable"):
+        index.range_scan(1, 10)
+    with pytest.raises(UnsupportedOperationError):
+        index.range_scan_many([(1, 10)])
+    # Legacy guard: callers that caught NotImplementedError keep working.
+    with pytest.raises(NotImplementedError):
+        index.range_scan(1, 10)
+
+
+def test_unsupported_error_names_backend_and_capability(pk_relation):
+    index = _build("silt", pk_relation)
+    with pytest.raises(UnsupportedOperationError) as exc_info:
+        index.insert(1, 0)
+    message = str(exc_info.value)
+    assert "silt" in message
+    assert "insert" in message
+    assert "mutable" in message
+    assert "capabilities:" in message
+
+
+# ======================================================================
+# serving equivalence: sharded, degenerate and batched
+# ======================================================================
+@pytest.mark.parametrize("name", SHARDABLE)
+def test_sharded_vs_unsharded_bit_identity(name, pk_relation):
+    keys = _probe_keys()
+    unsharded = _build(name, pk_relation)
+    stack = build_stack(CONFIG)
+    unsharded.bind(stack)
+    ref = [unsharded.search(k) for k in keys]
+    unsharded.unbind()
+
+    service = ShardedIndex.build(pk_relation, "pk", n_shards=4, kind=name,
+                                 unique=True, fpp=FPP)
+    assert service.n_shards > 1
+    service.bind(CONFIG)
+    results = service.search_many(keys)
+    merged = service.merged_io()
+    service.unbind()
+    assert results == ref
+    assert merged == stack.stats.snapshot()
+
+
+@pytest.mark.parametrize("name", UNSHARDABLE)
+def test_unshardable_backend_serves_single_shard(name, pk_relation):
+    service = ShardedIndex.build(pk_relation, "pk", n_shards=4, kind=name,
+                                 unique=True, fpp=FPP)
+    assert service.n_shards == 1
+    service.bind(CONFIG)
+    results = service.search_many([0, 1000, 10**9])
+    service.unbind()
+    assert [r.found for r in results] == [True, True, False]
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_service_trace_batch_fallback_bit_identity(name, pk_relation):
+    """The acceptance bar: a mixed-workload trace replays bit-identically
+    through the generic batch fallback vs per-op scalar dispatch —
+    results, IOStats and per-op latencies — on every backend."""
+    caps = EXPECTED_CAPS[name]
+    mix = "read_heavy" if caps["mutable"] else "read_only"
+    trace = generate_trace(pk_relation, "pk", mix=mix, n_ops=200,
+                           skew="zipfian", seed=9)
+    reports = []
+    for batch in (True, False):
+        service = ShardedIndex.build(pk_relation, "pk", n_shards=4,
+                                     kind=name, unique=True, fpp=FPP)
+        reports.append(run_service(service, trace, CONFIG, batch=batch))
+    batched, scalar = reports
+    assert batched.results == scalar.results
+    assert batched.io == scalar.io
+    assert np.allclose(batched.stats.op_latencies,
+                       scalar.stats.op_latencies, rtol=1e-9)

@@ -123,6 +123,53 @@ class TestFDTree:
         bp = BPlusTree.bulk_load(pk_relation, "pk")
         assert 0.5 < fd.size_pages / bp.size_pages < 1.5
 
+    def test_delete_hides_key_and_reports_outcome(self, pk_relation):
+        tree = FDTree.bulk_load(pk_relation, "pk", unique=True)
+        assert tree.search(500).found
+        outcome = tree.delete(500)
+        assert outcome and outcome.tombstoned
+        assert not tree.search(500).found
+        assert not tree.delete(10**9)  # missing key: removed=False
+
+    def test_reinsert_after_delete_is_visible(self, pk_relation):
+        """Recency: a reinsert cancels the pending tombstone instead of
+        being shadowed by it."""
+        tree = FDTree.bulk_load(pk_relation, "pk", unique=True)
+        assert tree.delete(500, tid=500)
+        assert not tree.search(500).found
+        tree.insert(500, 500)
+        assert tree.search(500).found
+
+    def test_reinsert_above_merged_tombstone_survives_merges(self):
+        """A tombstone that migrated deeper than a later reinsert must
+        not mask it — neither in the probe path (shallow wins) nor
+        after a merge (tombstone/entry pairs annihilate)."""
+        rel = Relation({"k": np.arange(64, dtype=np.int64)}, tuple_size=256)
+        tree = FDTree.bulk_load(
+            rel, "k", FDTreeConfig(size_ratio=2, head_pages=1), unique=True
+        )
+        head_capacity = tree.config.entries_per_page
+        assert tree.delete(10, tid=10)
+        # Push the tombstone down at least one level, then reinsert.
+        for i in range(head_capacity + 1):
+            tree.insert(10**6 + i, 0)
+        tree.insert(10, 10)
+        assert tree.search(10).found
+        # Merge the reinserted entry down onto the tombstone: the pair
+        # annihilates and the entry stays live via deeper bulk data.
+        for i in range(2 * head_capacity):
+            tree.insert(2 * 10**6 + i, 0)
+        assert tree.search(10).found
+
+    def test_delete_charges_probe_descent(self, pk_relation):
+        """The liveness check reads the same pages a probe reads."""
+        tree = FDTree.bulk_load(pk_relation, "pk", unique=True)
+        stack = build_stack("SSD/SSD")
+        tree.bind(stack)
+        before = stack.stats.index_reads
+        tree.delete(4000)
+        assert stack.stats.index_reads - before == tree.n_levels
+
 
 class TestSilt:
     def test_all_keys_found(self, pk_relation):

@@ -104,6 +104,72 @@ def test_serve_bench_json_and_threads(capsys):
     assert reports[0]["throughput_ops_per_sim_sec"] > 0
 
 
+def test_probe_batch_all_backends(capsys):
+    """--batch works on every registered backend (protocol fallback
+    where no vectorized engine exists) instead of silently degrading."""
+    from repro.api import registered_backends
+
+    for index in registered_backends():
+        assert main([
+            "probe", "--tuples", "4096", "--index", index, "--batch",
+            "--config", "MEM/SSD", "--probes", "10",
+        ]) == 0
+        assert "batch=True" in capsys.readouterr().out
+
+
+def test_probe_out_writes_json(tmp_path, capsys):
+    out = tmp_path / "probe.json"
+    assert main([
+        "probe", "--tuples", "4096", "--index", "fd", "--batch",
+        "--config", "MEM/SSD", "--probes", "10", "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload[0]["index"] == "fd"
+    assert payload[0]["batch"] is True
+    assert payload[0]["avg_latency_us"] > 0
+
+
+def test_serve_bench_nontree_backend(capsys, tmp_path):
+    """serve-bench accepts any registered backend; unshardable ones run
+    as a single-shard degenerate service."""
+    out = tmp_path / "serve.json"
+    assert main([
+        "serve-bench", "--tuples", "4096", "--ops", "100",
+        "--index", "hash", "--shards", "4", "--mix", "read_heavy",
+        "--seed", "3", "--out", str(out),
+    ]) == 0
+    assert "hash" in capsys.readouterr().out
+    import json
+
+    reports = json.loads(out.read_text())
+    assert reports[0]["n_shards"] == 1  # degenerate single shard
+    assert reports[0]["throughput_ops_per_sim_sec"] > 0
+
+
+def test_serve_bench_help_lists_all_backends(capsys):
+    from repro.api import registered_backends
+
+    with pytest.raises(SystemExit):
+        main(["serve-bench", "--help"])
+    out = capsys.readouterr().out
+    for name in registered_backends():
+        assert name in out
+
+
+def test_unknown_backend_lists_registry_names(capsys):
+    from repro.api import registered_backends
+
+    # argparse rejects unknown --index values with the registry choices.
+    with pytest.raises(SystemExit):
+        main(["probe", "--tuples", "1024", "--index", "lsm"])
+    err = capsys.readouterr().err
+    for name in registered_backends():
+        assert name in err
+
+
 def test_seed_flag_reproducible(capsys):
     """One --seed knob makes whole runs reproducible; changing it changes
     the sampled probes (and thus, in general, the measured output)."""

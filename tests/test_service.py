@@ -380,8 +380,19 @@ class TestRouterValidation:
             Router(service).replay(trace)
 
     def test_bad_kind_rejected(self, relation):
-        with pytest.raises(ValueError, match="kind"):
-            ShardedIndex.build(relation, "pk", kind="hash")
+        """Unregistered backends are rejected with the registry listing."""
+        with pytest.raises(ValueError, match="registered backends"):
+            ShardedIndex.build(relation, "pk", kind="lsm")
+
+    def test_unshardable_backend_degenerates_to_one_shard(self, relation):
+        """Backends without sliceable leaves serve as one shard."""
+        service = ShardedIndex.build(relation, "pk", n_shards=4, kind="hash",
+                                     unique=True)
+        assert service.n_shards == 1
+        service.bind(CONFIG)
+        results = service.search_many([5, 17, 10**9])
+        service.unbind()
+        assert [r.found for r in results] == [True, True, False]
 
     def test_search_many_unbound_runs_free(self, relation):
         """Unbound service still answers (no I/O charged), like the trees."""

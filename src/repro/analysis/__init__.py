@@ -1,0 +1,40 @@
+"""Project-invariant analysis tooling.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.reprolint` — AST-based static lint rules encoding
+  the invariants every PR so far has hand-enforced (charge discipline,
+  protocol discipline, seed discipline, numpy-scalar hygiene).
+* :mod:`repro.analysis.sanitize` — runtime structural validators for the
+  BF-Tree, B+-Tree, FD-Tree and sharded-service state, switched on with
+  ``REPRO_SANITIZE=1`` or ``--sanitize``.
+
+Neither half imports the rest of the package at module level, so both
+can be wired into low-level modules without import cycles.
+"""
+
+from repro.analysis.reprolint import Violation, lint_repo, lint_source
+from repro.analysis.sanitize import (
+    StructuralCorruption,
+    check_bplus,
+    check_fd,
+    check_sharded,
+    check_tree,
+    enabled,
+    force,
+    maybe_check,
+)
+
+__all__ = [
+    "Violation",
+    "lint_repo",
+    "lint_source",
+    "StructuralCorruption",
+    "check_bplus",
+    "check_fd",
+    "check_sharded",
+    "check_tree",
+    "enabled",
+    "force",
+    "maybe_check",
+]

@@ -1,0 +1,494 @@
+"""reprolint — AST lint rules for the project's unwritten invariants.
+
+Every PR in this repo has hand-fixed violations of the same rules: the
+Eq. 13 charge discipline behind :class:`~repro.storage.iostats.IOStats`,
+``hasattr`` duck-typing around the :class:`~repro.api.protocol.Index`
+protocol, unseeded RNG streams that break run-to-run reproducibility,
+and numpy scalars leaking through public APIs.  This module encodes
+those rules as AST checks so they are machine-enforced instead of
+re-litigated in review.
+
+Rule classes (each id groups one class of project invariant):
+
+``charge-discipline``
+    C1 — ``.read_page(...)`` outside ``src/repro/storage/`` must pass an
+    explicit ``sequential=`` argument.  The device's adjacency inference
+    silently turns logically-random probes into sequential charges when
+    page ids happen to adjoin, corrupting the Eq. 13 split that Table 3
+    and Figure 13 are built on.
+    C2 — a literal ``sequential=True`` on ``read_page`` is forbidden:
+    the first page of any run pays the random positioning cost, so a
+    statically-always-sequential read cannot be correct.  Use the
+    ``sequential=i > 0`` run pattern or :meth:`Device.read_run`.
+
+``protocol-discipline``
+    P1 — no ``hasattr``/``getattr``/``setattr`` with a string literal
+    naming part of the ``Index`` protocol surface.  Backends declare the
+    full surface (PR 5); feature probes hide conformance bugs.
+    P2 — an index-like class (one that defines ``capabilities`` or
+    inherits ``IndexBackend``/``BatchFallbackMixin``) defining a scalar
+    op must provide or inherit its ``*_many`` counterpart.
+    P3 — every backend name passed to ``register()`` must appear in the
+    conformance suite's ``EXPECTED_CAPS`` table (cross-file check).
+
+``seed-discipline``
+    S1 — ``np.random.default_rng()`` without an explicit seed.
+    S2 — ``random.Random()`` without an explicit seed.
+    S3 — module-level (global-stream) RNG calls such as
+    ``random.random()`` or ``np.random.rand()``.  Thread a seed from
+    :func:`repro.workloads.seeds.derive_seed` instead.
+
+``scalar-leak``
+    L1 — ad-hoc ``hasattr(x, "item")``/``getattr(x, "item")`` numpy
+    scalar unwrapping.  Use :func:`repro.api.results.as_scalar`, the one
+    shared helper (this file's rule is what keeps it singular).
+
+Entry points: :func:`lint_source` for one snippet (used by the
+self-tests), :func:`lint_repo` for the whole tree (used by
+``python -m repro lint`` and CI).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Names making up the Index protocol surface (methods, capability
+#: attributes, and sharding hooks).  ``backend_name`` is deliberately
+#: absent: it is registry *metadata* stamped by ``register()``, not
+#: behaviour, and the registry reads it reflectively by design.
+PROTOCOL_SURFACE = frozenset(
+    {
+        "bind",
+        "unbind",
+        "capabilities",
+        "write_target",
+        "search",
+        "insert",
+        "delete",
+        "range_scan",
+        "search_many",
+        "insert_many",
+        "delete_many",
+        "range_scan_many",
+        "supports_sharding",
+        "size_pages",
+        "n_leaves",
+        "height",
+        "shard_leaves",
+        "shard_from_leaves",
+        "shard_leaf_span",
+        "shard_cut_spans",
+    }
+)
+
+#: Scalar protocol ops and the batch counterpart each one requires.
+SCALAR_TO_BATCH = {
+    "search": "search_many",
+    "insert": "insert_many",
+    "delete": "delete_many",
+    "range_scan": "range_scan_many",
+}
+
+#: Base classes that mark a class as index-like and that are known to
+#: provide every ``*_many`` fallback (protocol.py's mixin hierarchy).
+_BATCH_PROVIDERS = frozenset({"BatchFallbackMixin", "IndexBackend"})
+_INDEX_MARKERS = _BATCH_PROVIDERS | {"Index"}
+
+#: Module-level RNG entry points that draw from a hidden global stream.
+_GLOBAL_RNG = frozenset(
+    {"random." + f for f in (
+        "random", "randint", "randrange", "getrandbits", "choice",
+        "choices", "shuffle", "sample", "uniform", "gauss", "betavariate",
+        "expovariate", "seed",
+    )}
+    | {"numpy.random." + f for f in (
+        "rand", "randn", "randint", "random", "random_sample",
+        "random_integers", "choice", "permutation", "shuffle", "normal",
+        "uniform", "standard_normal", "seed",
+    )}
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding: rule id, location, human-readable message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# path scoping
+
+
+def _posix(relpath: str) -> str:
+    return relpath.replace("\\", "/")
+
+
+def _in_charge_scope(relpath: str) -> bool:
+    """Charge rules apply to library code outside the storage layer.
+
+    ``src/repro/storage/`` owns the charging machinery itself; tests may
+    poke devices directly to exercise it.
+    """
+    p = _posix(relpath)
+    if p.startswith("tests/"):
+        return False
+    return not p.startswith("src/repro/storage/")
+
+
+def _in_protocol_scope(relpath: str) -> bool:
+    """Protocol rules apply outside tests (tests may introspect)."""
+    return not _posix(relpath).startswith("tests/")
+
+
+def _in_scalar_scope(relpath: str) -> bool:
+    """Scalar-leak applies everywhere except the helper's home module."""
+    return _posix(relpath) != "src/repro/api/results.py"
+
+
+# ---------------------------------------------------------------------------
+# per-file engine
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/attribute they refer to."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _dotted_parts(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _qualify(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve a call target to its dotted import-level name, if known."""
+    parts = _dotted_parts(node)
+    if not parts or parts[0] not in aliases:
+        return None
+    resolved = aliases[parts[0]]
+    # Normalize the conventional numpy alias target.
+    if resolved == "np":  # pragma: no cover - defensive
+        resolved = "numpy"
+    return ".".join([resolved, *parts[1:]])
+
+
+def _str_arg(call: ast.Call, idx: int) -> str | None:
+    if len(call.args) > idx and isinstance(call.args[idx], ast.Constant):
+        v = call.args[idx].value  # type: ignore[attr-defined]
+        if isinstance(v, str):
+            return v
+    return None
+
+
+def _check_calls(
+    tree: ast.Module, relpath: str, aliases: dict[str, str]
+) -> Iterator[Violation]:
+    charge = _in_charge_scope(relpath)
+    protocol = _in_protocol_scope(relpath)
+    scalar = _in_scalar_scope(relpath)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+
+        # -- charge-discipline -----------------------------------------
+        if charge and isinstance(func, ast.Attribute) and func.attr == "read_page":
+            seq_kw = next(
+                (kw for kw in node.keywords if kw.arg == "sequential"), None
+            )
+            has_star = any(kw.arg is None for kw in node.keywords)
+            if seq_kw is None and len(node.args) < 2 and not has_star:
+                yield Violation(
+                    "charge-discipline", relpath, node.lineno,
+                    "read_page() without an explicit sequential= argument; "
+                    "adjacency inference mis-splits Eq. 13's random/"
+                    "sequential accounting (C1)",
+                )
+            seq_val = seq_kw.value if seq_kw is not None else (
+                node.args[1] if len(node.args) > 1 else None
+            )
+            if isinstance(seq_val, ast.Constant) and seq_val.value is True:
+                yield Violation(
+                    "charge-discipline", relpath, node.lineno,
+                    "read_page(sequential=True) literal: the first page of "
+                    "a run always pays the random positioning cost; use "
+                    "sequential=i > 0 or Device.read_run (C2)",
+                )
+
+        # -- protocol-discipline / scalar-leak -------------------------
+        if isinstance(func, ast.Name) and func.id in (
+            "hasattr", "getattr", "setattr"
+        ):
+            name = _str_arg(node, 1)
+            if name == "item" and func.id in ("hasattr", "getattr") and scalar:
+                yield Violation(
+                    "scalar-leak", relpath, node.lineno,
+                    f'{func.id}(..., "item") numpy-scalar unwrapping; use '
+                    "repro.api.results.as_scalar (L1)",
+                )
+            elif name in PROTOCOL_SURFACE and protocol:
+                yield Violation(
+                    "protocol-discipline", relpath, node.lineno,
+                    f'{func.id}(..., "{name}") duck-types the Index '
+                    "protocol surface; backends declare the full surface, "
+                    "so access it directly (P1)",
+                )
+
+        # -- seed-discipline -------------------------------------------
+        qual = _qualify(func, aliases)
+        if qual is None:
+            continue
+        if qual == "numpy.random.default_rng":
+            if not node.args and not any(
+                kw.arg == "seed" or kw.arg is None for kw in node.keywords
+            ):
+                yield Violation(
+                    "seed-discipline", relpath, node.lineno,
+                    "np.random.default_rng() without an explicit seed; "
+                    "thread one from workloads.seeds.derive_seed (S1)",
+                )
+        elif qual == "random.Random":
+            if not node.args and not node.keywords:
+                yield Violation(
+                    "seed-discipline", relpath, node.lineno,
+                    "random.Random() without an explicit seed; thread one "
+                    "from workloads.seeds.derive_seed (S2)",
+                )
+        elif qual in _GLOBAL_RNG:
+            yield Violation(
+                "seed-discipline", relpath, node.lineno,
+                f"{qual}() draws from the hidden global RNG stream; use a "
+                "seeded Generator/Random instance (S3)",
+            )
+
+
+def _class_defs(tree: ast.Module) -> dict[str, tuple[list[str], set[str]]]:
+    """Map class name -> (base names, locally defined method names)."""
+    out: dict[str, tuple[list[str], set[str]]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = []
+        for b in node.bases:
+            parts = _dotted_parts(b)
+            if parts:
+                bases.append(parts[-1])
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        out[node.name] = (bases, methods)
+    return out
+
+
+def _check_batch_pairing(
+    classes: dict[str, tuple[list[str], set[str]]],
+    locations: dict[str, tuple[str, int]],
+) -> Iterator[Violation]:
+    """P2: scalar op without its ``*_many`` counterpart on index-like classes."""
+
+    def resolve(cls: str, seen: frozenset[str] = frozenset()) -> set[str]:
+        if cls in seen or cls not in classes:
+            return set()
+        bases, methods = classes[cls]
+        merged = set(methods)
+        for b in bases:
+            if b in _BATCH_PROVIDERS:
+                merged.update(SCALAR_TO_BATCH.values())
+            merged |= resolve(b, seen | {cls})
+        return merged
+
+    def index_like(cls: str, seen: frozenset[str] = frozenset()) -> bool:
+        if cls in seen or cls not in classes:
+            return False
+        bases, methods = classes[cls]
+        if "capabilities" in methods:
+            return True
+        return any(
+            b in _INDEX_MARKERS or index_like(b, seen | {cls}) for b in bases
+        )
+
+    for cls in classes:
+        if not index_like(cls):
+            continue
+        provided = resolve(cls)
+        for scalar_op, batch_op in SCALAR_TO_BATCH.items():
+            if scalar_op in provided and batch_op not in provided:
+                path, line = locations.get(cls, ("<unknown>", 0))
+                yield Violation(
+                    "protocol-discipline", path, line,
+                    f"index-like class {cls} defines {scalar_op}() but "
+                    f"neither defines nor inherits {batch_op}() (P2)",
+                )
+
+
+def _registered_names(tree: ast.Module) -> list[tuple[str, int]]:
+    names = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "register"
+        ):
+            name = _str_arg(node, 0)
+            if name is not None:
+                names.append((name, node.lineno))
+    return names
+
+
+def _expected_caps_keys(tree: ast.Module) -> set[str] | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "EXPECTED_CAPS" in targets and isinstance(node.value, ast.Dict):
+                return {
+                    k.value
+                    for k in node.value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                }
+    return None
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def lint_source(source: str, relpath: str = "src/<snippet>.py") -> list[Violation]:
+    """Lint one source string; ``relpath`` controls rule scoping.
+
+    The default pretends the snippet lives under ``src/`` so every rule
+    class applies — this is what the known-bad-snippet self-tests use.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                "parse-error", relpath, exc.lineno or 0, f"syntax error: {exc.msg}"
+            )
+        ]
+    aliases = _collect_aliases(tree)
+    violations = list(_check_calls(tree, relpath, aliases))
+    if _in_protocol_scope(relpath):
+        classes = _class_defs(tree)
+        locations = {
+            n.name: (relpath, n.lineno)
+            for n in ast.walk(tree)
+            if isinstance(n, ast.ClassDef)
+        }
+        violations.extend(_check_batch_pairing(classes, locations))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def _iter_py_files(root: Path, subdirs: Sequence[str]) -> Iterator[Path]:
+    for sub in subdirs:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            yield path
+
+
+def lint_files(paths: Iterable[Path], root: Path) -> list[Violation]:
+    """Lint the given files plus the cross-file protocol checks."""
+    violations: list[Violation] = []
+    all_classes: dict[str, tuple[list[str], set[str]]] = {}
+    locations: dict[str, tuple[str, int]] = {}
+    for path in paths:
+        relpath = _posix(str(path.relative_to(root)))
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    "parse-error", relpath, exc.lineno or 0,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        aliases = _collect_aliases(tree)
+        violations.extend(_check_calls(tree, relpath, aliases))
+        if _in_protocol_scope(relpath):
+            for name, (bases, methods) in _class_defs(tree).items():
+                all_classes[name] = (bases, methods)
+                for n in ast.walk(tree):
+                    if isinstance(n, ast.ClassDef) and n.name == name:
+                        locations[name] = (relpath, n.lineno)
+                        break
+    violations.extend(_check_batch_pairing(all_classes, locations))
+    violations.extend(_check_registry_conformance(root))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def _check_registry_conformance(root: Path) -> Iterator[Violation]:
+    """P3: every ``register()``-ed backend appears in the conformance suite."""
+    backends_py = root / "src" / "repro" / "api" / "backends.py"
+    conformance_py = root / "tests" / "test_api_conformance.py"
+    if not backends_py.is_file():
+        return
+    registered = _registered_names(ast.parse(backends_py.read_text("utf-8")))
+    if not registered:
+        return
+    rel_backends = _posix(str(backends_py.relative_to(root)))
+    if not conformance_py.is_file():
+        yield Violation(
+            "protocol-discipline", rel_backends, registered[0][1],
+            "backends are register()ed but tests/test_api_conformance.py "
+            "is missing (P3)",
+        )
+        return
+    expected = _expected_caps_keys(ast.parse(conformance_py.read_text("utf-8")))
+    if expected is None:
+        yield Violation(
+            "protocol-discipline", rel_backends, registered[0][1],
+            "conformance suite has no literal EXPECTED_CAPS table to "
+            "cross-check registered backends against (P3)",
+        )
+        return
+    for name, line in registered:
+        if name not in expected:
+            yield Violation(
+                "protocol-discipline", rel_backends, line,
+                f'backend "{name}" is register()ed but missing from the '
+                "conformance suite's EXPECTED_CAPS (P3)",
+            )
+
+
+def lint_repo(root: str | Path = ".") -> list[Violation]:
+    """Lint every Python file under src/, tests/, benchmarks/, examples/."""
+    rootp = Path(root).resolve()
+    files = list(_iter_py_files(rootp, ("src", "tests", "benchmarks", "examples")))
+    return lint_files(files, rootp)

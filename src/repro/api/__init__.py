@@ -32,6 +32,7 @@ from repro.api.results import (
     DeleteOutcome,
     RangeScanResult,
     SearchResult,
+    as_scalar,
     normalize_scan_windows,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "DeleteOutcome",
     "RangeScanResult",
     "SearchResult",
+    "as_scalar",
     "normalize_scan_windows",
 ]

@@ -8,6 +8,8 @@ knob simply ignore ``fpp``, so one uniform call works for all six.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.api.registry import register
 from repro.baselines.bptree import BPlusTree
 from repro.baselines.fd_tree import FDTree
@@ -17,25 +19,30 @@ from repro.baselines.silt import SiltStore
 from repro.core.bf_tree import BFTree, BFTreeConfig
 
 
-def _build_bf(relation, column, *, unique=False, config=None, fpp=None):
+def _build_bf(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> BFTree:
     if config is None and fpp is not None:
         config = BFTreeConfig(fpp=fpp)
     return BFTree.bulk_load(relation, column, config, unique=unique)
 
 
-def _build_bplus(relation, column, *, unique=False, config=None, fpp=None):
+def _build_bplus(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> BPlusTree:
     return BPlusTree.bulk_load(relation, column, config, unique=unique)
 
 
-def _build_hash(relation, column, *, unique=False, config=None, fpp=None):
+def _build_hash(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> HashIndex:
     return HashIndex.build(relation, column, unique=unique)
 
 
-def _build_fd(relation, column, *, unique=False, config=None, fpp=None):
+def _build_fd(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> FDTree:
     return FDTree.bulk_load(relation, column, config, unique=unique)
 
 
-def _build_silt(relation, column, *, unique=False, config=None, fpp=None):
+def _build_silt(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> SiltStore:
     # SiltStore's own constructor defaults unique=True (SILT is a KV
     # store), but the registry contract is uniform: unique=False unless
     # the caller says otherwise, so all six backends compare like for
@@ -43,8 +50,8 @@ def _build_silt(relation, column, *, unique=False, config=None, fpp=None):
     return SiltStore.build(relation, column, config, unique=unique)
 
 
-def _build_binsearch(relation, column, *, unique=False, config=None,
-                     fpp=None):
+def _build_binsearch(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> SortedFileSearch:
     return SortedFileSearch(relation, column, unique=unique)
 
 

@@ -39,12 +39,14 @@ and never branch on the backend kind.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
 
+from repro.analysis.sanitize import maybe_check
 from repro.api.results import (
     DeleteOutcome,
     RangeScanResult,
     SearchResult,
+    as_scalar,
     normalize_scan_windows,
 )
 
@@ -110,25 +112,34 @@ class Index(Protocol):
     ``tests/test_api_conformance.py`` across all backends.
     """
 
-    def bind(self, stack, warm: bool = False) -> None: ...
+    def bind(self, stack: Any, warm: bool = False) -> None: ...
     def unbind(self) -> None: ...
     def capabilities(self) -> Capabilities: ...
     def write_target(self, tid: int) -> int: ...
-    def search(self, key) -> SearchResult: ...
-    def insert(self, key, target: int) -> None: ...
-    def delete(self, key, target: int | None = None) -> DeleteOutcome: ...
-    def range_scan(self, lo, hi) -> RangeScanResult: ...
-    def search_many(self, keys, latency_sink=None) -> list[SearchResult]: ...
-    def insert_many(self, keys, targets, latency_sink=None) -> None: ...
-    def delete_many(self, keys, targets=None,
-                    latency_sink=None) -> list[DeleteOutcome]: ...
-    def range_scan_many(self, windows,
-                        latency_sink=None) -> list[RangeScanResult]: ...
+    def search(self, key: Any) -> SearchResult: ...
+    def insert(self, key: Any, target: int) -> None: ...
+    def delete(self, key: Any,
+               target: int | None = None) -> DeleteOutcome: ...
+    def range_scan(self, lo: Any, hi: Any) -> RangeScanResult: ...
+    def search_many(self, keys: Sequence[Any],
+                    latency_sink: list[float] | None = None
+                    ) -> list[SearchResult]: ...
+    def insert_many(self, keys: Sequence[Any], targets: Sequence[int],
+                    latency_sink: list[float] | None = None) -> None: ...
+    def delete_many(self, keys: Sequence[Any],
+                    targets: Sequence[int | None] | None = None,
+                    latency_sink: list[float] | None = None
+                    ) -> list[DeleteOutcome]: ...
+    def range_scan_many(self, windows: Sequence[tuple[Any, Any]],
+                        latency_sink: list[float] | None = None
+                        ) -> list[RangeScanResult]: ...
 
+    # Declared surface, not duck-typed: callers read these directly
+    # (reprolint's protocol-discipline rule forbids getattr probes).
+    supports_sharding: bool
 
-def _unwrap(key):
-    """NumPy scalar -> Python value, as every scalar entry point does."""
-    return key.item() if hasattr(key, "item") else key
+    @property
+    def size_pages(self) -> int: ...
 
 
 class BatchFallbackMixin:
@@ -146,11 +157,21 @@ class BatchFallbackMixin:
     (the unbound, charge-free mode every backend supports).
     """
 
-    def _sim_clock(self):
+    if TYPE_CHECKING:
+        # Scalar ops the concrete backend supplies; typed stubs only, so
+        # the scalar-loop fallbacks type-check under mypy strict (at
+        # runtime IndexBackend's capability-gated defaults own these).
+        def search(self, key: Any) -> SearchResult: ...
+        def insert(self, key: Any, target: int) -> None: ...
+        def delete(self, key: Any,
+                   target: int | None = None) -> DeleteOutcome: ...
+        def range_scan(self, lo: Any, hi: Any) -> RangeScanResult: ...
+
+    def _sim_clock(self) -> Any:
         """The bound stack's simulated clock, or None when unbound."""
         return None
 
-    def search_many(self, keys,
+    def search_many(self, keys: Sequence[Any],
                     latency_sink: list[float] | None = None
                     ) -> list[SearchResult]:
         clock = self._sim_clock()
@@ -158,26 +179,28 @@ class BatchFallbackMixin:
         results: list[SearchResult] = []
         for key in keys:
             start = clock.now() if track else 0.0
-            results.append(self.search(_unwrap(key)))
-            if track:
+            results.append(self.search(as_scalar(key)))
+            if track and latency_sink is not None:
                 latency_sink.append(clock.now() - start)
         if latency_sink is not None and not track:
             latency_sink.extend(0.0 for _ in results)
         return results
 
-    def insert_many(self, keys, targets,
+    def insert_many(self, keys: Sequence[Any], targets: Sequence[int],
                     latency_sink: list[float] | None = None) -> None:
         clock = self._sim_clock()
         track = latency_sink is not None and clock is not None
         for key, target in zip(keys, targets):
             start = clock.now() if track else 0.0
-            self.insert(_unwrap(key), int(target))
-            if track:
+            self.insert(as_scalar(key), int(target))
+            if track and latency_sink is not None:
                 latency_sink.append(clock.now() - start)
         if latency_sink is not None and not track:
             latency_sink.extend(0.0 for _ in keys)
+        maybe_check(self)
 
-    def delete_many(self, keys, targets=None,
+    def delete_many(self, keys: Sequence[Any],
+                    targets: Sequence[int | None] | None = None,
                     latency_sink: list[float] | None = None
                     ) -> list[DeleteOutcome]:
         n = len(keys)
@@ -188,16 +211,17 @@ class BatchFallbackMixin:
         for key, target in zip(keys, targets):
             start = clock.now() if track else 0.0
             outcomes.append(
-                self.delete(_unwrap(key),
+                self.delete(as_scalar(key),
                             None if target is None else int(target))
             )
-            if track:
+            if track and latency_sink is not None:
                 latency_sink.append(clock.now() - start)
         if latency_sink is not None and not track:
             latency_sink.extend(0.0 for _ in keys)
+        maybe_check(self)
         return outcomes
 
-    def range_scan_many(self, windows,
+    def range_scan_many(self, windows: Sequence[tuple[Any, Any]],
                         latency_sink: list[float] | None = None
                         ) -> list[RangeScanResult]:
         # Validate every window before any charge lands, matching the
@@ -209,7 +233,7 @@ class BatchFallbackMixin:
         for lo, hi in wins:
             start = clock.now() if track else 0.0
             results.append(self.range_scan(lo, hi))
-            if track:
+            if track and latency_sink is not None:
                 latency_sink.append(clock.now() - start)
         if latency_sink is not None and not track:
             latency_sink.extend(0.0 for _ in results)
@@ -259,13 +283,13 @@ class IndexBackend(BatchFallbackMixin):
     # ------------------------------------------------------------------
     # capability-gated defaults
     # ------------------------------------------------------------------
-    def insert(self, key, target: int) -> None:
+    def insert(self, key: Any, target: int) -> None:
         raise self._unsupported("insert", "mutable")
 
-    def delete(self, key, target: int | None = None) -> DeleteOutcome:
+    def delete(self, key: Any, target: int | None = None) -> DeleteOutcome:
         raise self._unsupported("delete", "mutable")
 
-    def range_scan(self, lo, hi) -> RangeScanResult:
+    def range_scan(self, lo: Any, hi: Any) -> RangeScanResult:
         raise self._unsupported("range_scan", "scannable")
 
     # ------------------------------------------------------------------
@@ -280,23 +304,28 @@ class IndexBackend(BatchFallbackMixin):
     def n_leaves(self) -> int:
         return 0
 
+    @property
+    def size_pages(self) -> int:
+        """Index pages occupied (0 for backends with no on-device index)."""
+        return 0
+
     # ------------------------------------------------------------------
     # sharding hooks (leaf-sliceable trees override all four)
     # ------------------------------------------------------------------
-    def shard_leaves(self) -> list:
+    def shard_leaves(self) -> list[Any]:
         """Leaf objects in key order, ready to slice into shard runs."""
         raise self._unsupported("shard_leaves", "shardable")
 
-    def shard_from_leaves(self, run: list) -> "IndexBackend":
+    def shard_from_leaves(self, run: list[Any]) -> "IndexBackend":
         """Rebuild an independent index over a contiguous leaf run."""
         raise self._unsupported("shard_from_leaves", "shardable")
 
     @staticmethod
-    def shard_leaf_span(leaf) -> tuple:
+    def shard_leaf_span(leaf: Any) -> tuple[Any, Any]:
         """(smallest, largest) key a leaf covers."""
         raise NotImplementedError
 
     @staticmethod
-    def shard_cut_spans(left, right) -> bool:
+    def shard_cut_spans(left: Any, right: Any) -> bool:
         """True when cutting between two adjacent leaves would split a key."""
         raise NotImplementedError

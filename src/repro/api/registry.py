@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,7 @@ class BackendSpec:
     """
 
     name: str
-    builder: Callable
+    builder: Callable[..., Any]
     description: str = ""
 
 
@@ -57,7 +57,7 @@ def _ensure_builtins() -> None:
         raise
 
 
-def register(name: str, builder: Callable, description: str = "",
+def register(name: str, builder: Callable[..., Any], description: str = "",
              replace: bool = False) -> BackendSpec:
     """Publish an index backend under ``name``.
 
@@ -94,7 +94,7 @@ def backend_spec(name: str) -> BackendSpec:
         ) from None
 
 
-def make_index(name: str, relation, column: str, **cfg):
+def make_index(name: str, relation: Any, column: str, **cfg: Any) -> Any:
     """Build a registered backend over ``relation.column``.
 
     ``cfg`` is forwarded to the backend's builder (``unique``,

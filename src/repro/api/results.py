@@ -16,6 +16,24 @@ because they are contract types, not BF-Tree internals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+
+def as_scalar(value: Any) -> Any:
+    """Normalize a NumPy scalar (or 0-d array) to its native Python value.
+
+    The one shared helper every public entry point funnels keys and scan
+    bounds through — reprolint's scalar-leak rule forbids re-deriving it
+    with ad-hoc ``hasattr(x, "item")`` probes.  Non-NumPy values pass
+    through untouched.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value.item()
+    return value
 
 
 @dataclass
@@ -57,7 +75,8 @@ class DeleteOutcome:
         return self.removed
 
 
-def normalize_scan_windows(windows) -> list[tuple]:
+def normalize_scan_windows(windows: Iterable[tuple[Any, Any]]
+                           ) -> list[tuple[Any, Any]]:
     """Canonicalize a batch of ``(lo, hi)`` scan windows.
 
     NumPy scalars are unwrapped to Python values and every window is
@@ -65,10 +84,10 @@ def normalize_scan_windows(windows) -> list[tuple]:
     before any I/O is charged — shared by every ``range_scan_many``
     engine and the sharded scan planner.
     """
-    wins: list[tuple] = []
+    wins: list[tuple[Any, Any]] = []
     for lo, hi in windows:
-        lo = lo.item() if hasattr(lo, "item") else lo
-        hi = hi.item() if hasattr(hi, "item") else hi
+        lo = as_scalar(lo)
+        hi = as_scalar(hi)
         if lo > hi:
             raise ValueError(f"empty range: lo={lo} > hi={hi}")
         wins.append((lo, hi))

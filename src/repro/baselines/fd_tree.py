@@ -228,7 +228,7 @@ class FDTree(IndexBackend):
                 matches, page_off = self._level_matches(level, key)
             else:
                 matches, page_off = [], 0   # fence-only level
-            skip_read = not level and getattr(self, "_warm", False)
+            skip_read = not level and self._warm
             if self._index_device is not None and not skip_read:
                 self._index_device.read_page(
                     self._level_page_base[idx] + page_off, sequential=False

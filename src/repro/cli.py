@@ -160,7 +160,7 @@ def cmd_probe(args: argparse.Namespace) -> int:
             "data_reads_per_search": stats.data_reads_per_search,
             "index_reads_per_search": stats.index_reads_per_search,
         })
-    size = getattr(index, "size_pages", 0)
+    size = index.size_pages
     print(format_table(
         ["config", "latency (us)", "false reads", "data reads",
          "index reads", "hit rate"],
@@ -309,6 +309,25 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint over the repository; non-zero exit on violations."""
+    from pathlib import Path
+
+    from repro.analysis.reprolint import lint_repo
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parents[2]
+    violations = lint_repo(root)
+    for v in violations:
+        print(v.format())
+    rules = sorted({v.rule for v in violations})
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s) "
+              f"across rule(s): {', '.join(rules)}")
+        return 1
+    print(f"reprolint: clean ({root})")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -333,6 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BF-Tree (VLDB 2014) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run the structural sanitizer after every mutation batch "
+             "(equivalent to REPRO_SANITIZE=1; validates leaf chains, "
+             "filter accounting, tombstones and shard routing); place "
+             "before the subcommand",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -432,11 +458,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--tuples", type=int, default=32768)
     p_wl.set_defaults(func=cmd_workloads)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint's project-invariant static analysis",
+    )
+    p_lint.add_argument("--root", default=None,
+                        help="repository root to lint (defaults to the "
+                             "checkout this package was imported from)")
+    p_lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sanitize:
+        from repro.analysis.sanitize import force
+
+        force(True)
     return args.func(args)
 
 

@@ -55,10 +55,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.api.protocol import Capabilities, IndexBackend
+from repro.analysis.sanitize import maybe_check
 from repro.api.results import (
     DeleteOutcome,
     RangeScanResult,
     SearchResult,
+    as_scalar,
     normalize_scan_windows,
 )
 from repro.core.bf_leaf import (
@@ -575,7 +577,7 @@ class BFTree(IndexBackend):
 
     @staticmethod
     def shard_cut_spans(left, right) -> bool:
-        if getattr(right, "spill_back_pages", 0):
+        if right.spill_back_pages:
             return True
         return right.min_key is not None and right.min_key == left.max_key
 
@@ -637,7 +639,7 @@ class BFTree(IndexBackend):
         exactly the latency the scalar ``search`` would report.  The
         service layer's tail-latency percentiles are computed from this.
         """
-        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        keys = [as_scalar(k) for k in keys]
         results: list[SearchResult | None] = [None] * len(keys)
         stats = self._stats()
         clock = self._clock()
@@ -895,7 +897,7 @@ class BFTree(IndexBackend):
         ``latency_sink``, if given, receives one simulated per-op latency
         per insert, exactly as the scalar loop would have bracketed them.
         """
-        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        keys = [as_scalar(k) for k in keys]
         pids = [int(p) for p in pids]
         if len(keys) != len(pids):
             raise ValueError("keys and pids must have the same length")
@@ -956,6 +958,7 @@ class BFTree(IndexBackend):
                     flush_leaf(leaf_id)
         if latency_sink is not None:
             latency_sink.extend(latencies)
+        maybe_check(self)
 
     def _apply_write_round(self, keys, pids, i, n, base, pred, paths,
                            rows, dup0, grp, fast_dups, pending, dirty,
@@ -1240,7 +1243,7 @@ class BFTree(IndexBackend):
         covers the whole batch.  ``latency_sink`` receives per-op
         simulated latencies, as the scalar loop would bracket them.
         """
-        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        keys = [as_scalar(k) for k in keys]
         n = len(keys)
         if pids is None:
             pids = [None] * n
@@ -1287,6 +1290,7 @@ class BFTree(IndexBackend):
                 latencies[j] = clock.now() - start
         if latency_sink is not None:
             latency_sink.extend(latencies)
+        maybe_check(self)
         return outcomes
 
     def _split_leaf(self, leaf: BFLeaf) -> tuple[BFLeaf, BFLeaf]:

@@ -16,6 +16,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.api.results import as_scalar
 from repro.baselines.bptree import BPlusTree
 from repro.core.bf_tree import BFTree, BFTreeConfig
 from repro.service.router import Router
@@ -93,7 +94,7 @@ def run_probes(
                 stack.data_device.reset_head()
                 start = stack.clock.now()
                 result = index.search(
-                    key.item() if hasattr(key, "item") else key
+                    as_scalar(key)
                 )
                 total_latency += stack.clock.now() - start
                 if result.found:

@@ -51,9 +51,11 @@ import numpy as np
 
 from repro.api.protocol import Index
 from repro.api.registry import make_index
+from repro.analysis.sanitize import maybe_check
 from repro.api.results import (
     RangeScanResult,
     SearchResult,
+    as_scalar,
     normalize_scan_windows,
 )
 from repro.storage.config import StorageConfig, StorageStack, build_stack
@@ -79,6 +81,9 @@ class Shard:
 
 class ShardedIndex:
     """Hash-free range partitioning of one indexed column across shards."""
+
+    #: The service is not itself leaf-sliceable (its shards are).
+    supports_sharding = False
 
     def __init__(
         self,
@@ -131,7 +136,7 @@ class ShardedIndex:
             raise ValueError("n_shards must be >= 1")
         donor = make_index(kind, relation, key_column, unique=unique,
                            config=config, **cfg)
-        if not getattr(donor, "supports_sharding", False):
+        if not donor.supports_sharding:
             shards = [Shard(index=donor, lo_key=None, hi_key=None)]
             return cls(relation, key_column, shards, kind, unique,
                        donor.height)
@@ -253,7 +258,7 @@ class ShardedIndex:
                     ) -> list[SearchResult]:
         """Route a probe batch and dispatch each shard's slice through
         its ``search_many``; results come back in input order."""
-        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        keys = [as_scalar(k) for k in keys]
         assign = self.route(keys)
         results: list[SearchResult | None] = [None] * len(keys)
         latencies = [0.0] * len(keys)
@@ -277,7 +282,7 @@ class ShardedIndex:
 
     def insert(self, key, tid: int) -> None:
         """Index tuple ``tid`` under ``key`` on the owning shard."""
-        key = key.item() if hasattr(key, "item") else key
+        key = as_scalar(key)
         self.insert_on(self.shards[self.route_key(key)], key, tid)
 
     def insert_on(self, shard: Shard, key, tid: int) -> None:
@@ -298,7 +303,7 @@ class ShardedIndex:
         ``latency_sink`` receives per-op simulated latencies aligned
         with ``keys``.
         """
-        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        keys = [as_scalar(k) for k in keys]
         assign = self.route(keys)
         latencies = [0.0] * len(keys)
         for s, shard in enumerate(self.shards):
@@ -319,6 +324,7 @@ class ShardedIndex:
                     latencies[i] = sub_sink[j]
         if latency_sink is not None:
             latency_sink.extend(latencies)
+        maybe_check(self)
 
     def insert_many_on(self, shard: Shard, keys, tids,
                        latency_sink: list[float] | None = None) -> None:
@@ -326,6 +332,7 @@ class ShardedIndex:
         the Router's write-batching entry point."""
         targets = [shard.index.write_target(int(t)) for t in tids]
         shard.index.insert_many(keys, targets, latency_sink=latency_sink)
+        maybe_check(self)
 
     def delete_many(self, keys, tids=None,
                     latency_sink: list[float] | None = None) -> list:
@@ -336,7 +343,7 @@ class ShardedIndex:
         in-place path) come back as
         :class:`~repro.api.DeleteOutcome` objects aligned with ``keys``.
         """
-        keys = [k.item() if hasattr(k, "item") else k for k in keys]
+        keys = [as_scalar(k) for k in keys]
         n = len(keys)
         tids = [None] * n if tids is None else list(tids)
         assign = self.route(keys)
@@ -364,6 +371,7 @@ class ShardedIndex:
                     latencies[i] = sub_sink[j]
         if latency_sink is not None:
             latency_sink.extend(latencies)
+        maybe_check(self)
         return outcomes
 
     def range_scan(self, lo, hi) -> RangeScanResult:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Iterable
 
 from repro.storage.clock import SimulatedClock
 from repro.storage.iostats import IOStats
@@ -26,7 +27,8 @@ PAGE_SIZE = 4096
 """Bytes per page, fixed to 4 KB throughout the paper's evaluation."""
 
 
-def classify_read_runs(runs, prev_pid: int | None = None
+def classify_read_runs(runs: Iterable[tuple[int, int]],
+                       prev_pid: int | None = None
                        ) -> tuple[int, int, int | None]:
     """Eq. 13 access-pattern split for planned ``(first_pid, npages)`` runs.
 

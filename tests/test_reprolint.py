@@ -1,0 +1,251 @@
+"""reprolint self-tests: every rule class proven on a known-bad snippet,
+the whole repository proven clean, and regression tests for the protocol
+surface the first lint run forced onto the books.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reprolint import (
+    PROTOCOL_SURFACE,
+    Violation,
+    lint_files,
+    lint_repo,
+    lint_source,
+)
+from repro.api import Index, as_scalar, make_index, registered_backends
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def rules_of(violations):
+    return sorted({v.rule for v in violations})
+
+
+# ======================================================================
+# charge-discipline
+# ======================================================================
+class TestChargeDiscipline:
+    def test_read_page_without_sequential_flagged(self):
+        vs = lint_source(
+            "def fetch(dev, pids):\n"
+            "    for pid in pids:\n"
+            "        dev.read_page(pid)\n"
+        )
+        assert rules_of(vs) == ["charge-discipline"]
+        assert vs[0].line == 3
+        assert "sequential" in vs[0].message
+
+    def test_literal_sequential_true_flagged(self):
+        vs = lint_source("def f(dev, pid):\n"
+                         "    dev.read_page(pid, sequential=True)\n")
+        assert rules_of(vs) == ["charge-discipline"]
+        assert "random positioning" in vs[0].message
+
+    def test_run_pattern_is_clean(self):
+        vs = lint_source(
+            "def fetch(dev, pids):\n"
+            "    for i, pid in enumerate(pids):\n"
+            "        dev.read_page(pid, sequential=i > 0)\n"
+        )
+        assert vs == []
+
+    def test_explicit_random_is_clean(self):
+        assert lint_source(
+            "def f(dev, pid):\n"
+            "    dev.read_page(pid, sequential=False)\n"
+        ) == []
+
+    def test_storage_layer_is_exempt(self):
+        src = "def f(dev, pid):\n    dev.read_page(pid)\n"
+        assert lint_source(src, "src/repro/storage/buffer_pool.py") == []
+        assert lint_source(src, "src/repro/core/bf_tree.py") != []
+
+    def test_tests_are_exempt(self):
+        src = "def f(dev, pid):\n    dev.read_page(pid)\n"
+        assert lint_source(src, "tests/test_device.py") == []
+
+
+# ======================================================================
+# protocol-discipline
+# ======================================================================
+class TestProtocolDiscipline:
+    @pytest.mark.parametrize("probe", [
+        'getattr(ix, "supports_sharding", False)',
+        'getattr(ix, "size_pages", 0)',
+        'hasattr(ix, "search_many")',
+        'hasattr(ix, "range_scan")',
+    ])
+    def test_duck_typing_protocol_surface_flagged(self, probe):
+        vs = lint_source(f"def f(ix):\n    return {probe}\n")
+        assert rules_of(vs) == ["protocol-discipline"]
+
+    def test_non_protocol_attribute_is_clean(self):
+        assert lint_source(
+            'def f(obj):\n    return getattr(obj, "spill_hint", 0)\n'
+        ) == []
+
+    def test_scalar_op_without_batch_counterpart_flagged(self):
+        vs = lint_source(
+            "class Bad:\n"
+            "    def capabilities(self):\n"
+            "        return None\n"
+            "    def search(self, key):\n"
+            "        return None\n"
+        )
+        assert rules_of(vs) == ["protocol-discipline"]
+        assert "search_many" in vs[0].message
+
+    def test_batch_counterpart_inherited_from_mixin_is_clean(self):
+        assert lint_source(
+            "from repro.api.protocol import IndexBackend\n"
+            "class Ok(IndexBackend):\n"
+            "    def capabilities(self):\n"
+            "        return None\n"
+            "    def search(self, key):\n"
+            "        return None\n"
+        ) == []
+
+    def test_non_index_class_with_search_is_clean(self):
+        # Defining search() alone does not make a class index-like.
+        assert lint_source(
+            "class TextFinder:\n"
+            "    def search(self, needle):\n"
+            "        return None\n"
+        ) == []
+
+    def test_registered_backend_missing_from_conformance(self, tmp_path):
+        api = tmp_path / "src" / "repro" / "api"
+        api.mkdir(parents=True)
+        (api / "backends.py").write_text(
+            'register("bf", build_bf)\nregister("ghost", build_ghost)\n'
+        )
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_api_conformance.py").write_text(
+            'EXPECTED_CAPS = {"bf": dict(ordered=True)}\n'
+        )
+        vs = lint_repo(tmp_path)
+        assert rules_of(vs) == ["protocol-discipline"]
+        [v] = vs
+        assert '"ghost"' in v.message and "EXPECTED_CAPS" in v.message
+
+
+# ======================================================================
+# seed-discipline
+# ======================================================================
+class TestSeedDiscipline:
+    @pytest.mark.parametrize("snippet", [
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "from numpy.random import default_rng\nrng = default_rng()\n",
+        "import random\nr = random.Random()\n",
+        "import random\nx = random.random()\n",
+        "import random\nrandom.seed(42)\n",
+        "import numpy as np\nx = np.random.rand(8)\n",
+    ])
+    def test_unseeded_rng_flagged(self, snippet):
+        assert rules_of(lint_source(snippet)) == ["seed-discipline"]
+
+    @pytest.mark.parametrize("snippet", [
+        "import numpy as np\nrng = np.random.default_rng(42)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed=7)\n",
+        "import random\nr = random.Random(17)\n",
+        "import numpy as np\ndef f(rng):\n    return rng.random()\n",
+    ])
+    def test_seeded_rng_clean(self, snippet):
+        assert lint_source(snippet) == []
+
+    def test_seed_rule_applies_to_tests_too(self):
+        vs = lint_source("import random\nx = random.random()\n",
+                         "tests/test_something.py")
+        assert rules_of(vs) == ["seed-discipline"]
+
+
+# ======================================================================
+# scalar-leak
+# ======================================================================
+class TestScalarLeak:
+    def test_hasattr_item_flagged(self):
+        vs = lint_source(
+            'def unwrap(k):\n'
+            '    return k.item() if hasattr(k, "item") else k\n'
+        )
+        assert rules_of(vs) == ["scalar-leak"]
+        assert "as_scalar" in vs[0].message
+
+    def test_helper_home_module_is_exempt(self):
+        src = 'def unwrap(k):\n    return hasattr(k, "item")\n'
+        assert lint_source(src, "src/repro/api/results.py") == []
+
+    def test_as_scalar_normalizes_numpy(self):
+        import numpy as np
+
+        assert as_scalar(np.int64(7)) == 7
+        assert type(as_scalar(np.int64(7))) is int
+        assert type(as_scalar(np.float32(1.5))) is float
+        assert as_scalar(np.array(3)) == 3
+        assert as_scalar("plain") == "plain"
+        assert as_scalar(11) == 11
+
+
+# ======================================================================
+# whole-repo gate + plumbing
+# ======================================================================
+def test_repository_is_lint_clean():
+    violations = lint_repo(ROOT)
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_violation_format_is_precise():
+    v = Violation("seed-discipline", "src/x.py", 12, "boom")
+    assert v.format() == "src/x.py:12: [seed-discipline] boom"
+
+
+def test_lint_files_orders_output(tmp_path):
+    a = tmp_path / "src" / "a.py"
+    a.parent.mkdir()
+    a.write_text("import random\nx = random.random()\ny = random.random()\n")
+    vs = lint_files([a], tmp_path)
+    assert [v.line for v in vs] == [2, 3]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("def broken(:\n")
+    vs = lint_files([bad], tmp_path)
+    assert rules_of(vs) == ["parse-error"]
+
+
+def test_cli_lint_runs_clean(capsys):
+    from repro.cli import main
+
+    assert main(["lint"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+# ======================================================================
+# regression: the protocol-surface violations the first lint run fixed
+# ======================================================================
+def test_every_backend_declares_supports_sharding(pk_relation):
+    for name in registered_backends():
+        index = make_index(name, pk_relation, "pk", unique=True, fpp=1e-3)
+        assert isinstance(index.supports_sharding, bool)
+        assert index.supports_sharding == (name in ("bf", "bplus"))
+
+
+def test_every_backend_declares_size_pages(pk_relation):
+    for name in registered_backends():
+        index = make_index(name, pk_relation, "pk", unique=True, fpp=1e-3)
+        assert isinstance(index.size_pages, int)
+        assert index.size_pages >= 0
+
+
+def test_protocol_surface_covers_sharding_and_size():
+    # The lint surface and the runtime Protocol agree on the members
+    # whose getattr probes the first run flagged.
+    assert "supports_sharding" in PROTOCOL_SURFACE
+    assert "size_pages" in PROTOCOL_SURFACE
+    assert "supports_sharding" in Index.__annotations__
+    assert isinstance(Index.size_pages, property)

@@ -1,0 +1,154 @@
+"""Recovery benchmark: checkpoint size and recovery time, bf vs. bplus.
+
+The paper's Table 2 story measured as bytes on disk: a BF-Tree's
+checkpoint serializes Bloom filter bit arrays plus per-leaf fences,
+while a B+-Tree's checkpoint must serialize every key and rid list —
+so the BF-Tree checkpoint should come in well under half the B+-Tree's
+on the same relation (the gate below enforces < 0.5x).  Also reported:
+wall-clock checkpoint and recovery (snapshot restore + WAL-tail replay)
+times with a burst of logged deletes in the tail.
+
+Runs standalone (CI artifact mode) or under pytest:
+
+    python benchmarks/bench_recovery.py --smoke --out recovery.json
+    pytest benchmarks/bench_recovery.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.api import make_index                      # noqa: E402
+from repro.harness import format_table                # noqa: E402
+from repro.persist import DurableIndex, recover       # noqa: E402
+from repro.storage import Relation                    # noqa: E402
+
+SMOKE_TUPLES = 8192
+FULL_TUPLES = 65536
+N_TAIL_OPS = 64
+FPP = 1e-3
+
+
+def _measure_backend(relation: Relation, kind: str, directory: Path) -> dict:
+    """Checkpoint one backend, mutate, recover, and time every phase."""
+    inner = make_index(kind, relation, "pk", unique=True, fpp=FPP)
+
+    t0 = time.perf_counter()
+    index = DurableIndex(inner, directory, sync_every=N_TAIL_OPS, kind=kind,
+                         column="pk", unique=True, fpp=FPP)
+    checkpoint_s = time.perf_counter() - t0
+    checkpoint_bytes = index.snapshot_path.stat().st_size
+
+    n = relation.ntuples
+    step = max(1, n // N_TAIL_OPS)
+    deleted = list(range(0, n, step))[:N_TAIL_OPS]
+    for key in deleted:
+        index.delete(key)
+    index.close()
+    wal_bytes = index.wal_path.stat().st_size
+
+    t0 = time.perf_counter()
+    recovered = recover(directory, relation)
+    recovery_s = time.perf_counter() - t0
+
+    assert not recovered.search(deleted[0]).found
+    assert not recovered.search(deleted[-1]).found
+    assert recovered.search(deleted[0] + 1 if step > 1 else n - 1).found \
+        or step == 1
+    assert recovered.n_leaves == index.n_leaves
+    recovered.close()
+
+    return {
+        "kind": kind,
+        "checkpoint_bytes": checkpoint_bytes,
+        "wal_bytes": wal_bytes,
+        "checkpoint_seconds": round(checkpoint_s, 6),
+        "recovery_seconds": round(recovery_s, 6),
+        "tail_ops": len(deleted),
+    }
+
+
+def run(n_tuples: int) -> dict:
+    relation = Relation(
+        {"pk": np.arange(n_tuples, dtype=np.int64)}, tuple_size=256,
+        name="recovery-rel",
+    )
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as tmp:
+        for kind in ("bf", "bplus"):
+            results[kind] = _measure_backend(relation, kind,
+                                             Path(tmp) / kind)
+    ratio = results["bf"]["checkpoint_bytes"] / max(
+        1, results["bplus"]["checkpoint_bytes"]
+    )
+    return {
+        "relation_tuples": n_tuples,
+        "fpp": FPP,
+        "backends": results,
+        "bf_over_bplus_checkpoint_ratio": round(ratio, 4),
+        "gate": "bf checkpoint bytes < 0.5x bplus checkpoint bytes",
+        "gate_passed": ratio < 0.5,
+    }
+
+
+def report_table(report: dict) -> str:
+    rows = [
+        [
+            r["kind"],
+            f"{r['checkpoint_bytes']:,}",
+            f"{r['wal_bytes']:,}",
+            f"{r['checkpoint_seconds'] * 1e3:.1f}",
+            f"{r['recovery_seconds'] * 1e3:.1f}",
+        ]
+        for r in report["backends"].values()
+    ]
+    return format_table(
+        ["backend", "checkpoint B", "WAL tail B", "checkpoint ms",
+         "recovery ms"],
+        rows,
+        title=(f"Durability: checkpoint size & recovery time "
+               f"({report['relation_tuples']:,} tuples, ratio "
+               f"{report['bf_over_bplus_checkpoint_ratio']:.2f})"),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"small relation ({SMOKE_TUPLES} tuples) for CI")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = run(SMOKE_TUPLES if args.smoke else FULL_TUPLES)
+    print(report_table(report))
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.out}")
+    if not report["gate_passed"]:
+        print("GATE FAILED: BF-Tree checkpoint is not < 0.5x the "
+              "B+-Tree's", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_bf_checkpoint_under_half_of_bplus(benchmark, emit):
+    report = benchmark.pedantic(run, args=(SMOKE_TUPLES,), rounds=1,
+                                iterations=1)
+    emit(report_table(report))
+    assert report["gate_passed"], report["bf_over_bplus_checkpoint_ratio"]
+    for r in report["backends"].values():
+        assert r["recovery_seconds"] < 60
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

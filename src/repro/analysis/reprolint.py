@@ -43,6 +43,16 @@ Rule classes (each id groups one class of project invariant):
     scalar unwrapping.  Use :func:`repro.api.results.as_scalar`, the one
     shared helper (this file's rule is what keeps it singular).
 
+``format-discipline``
+    On-disk index state has exactly one home: :mod:`repro.persist`,
+    whose formats are framed, checksummed and atomically replaced.
+    F1 — ``pickle.load``/``pickle.loads`` anywhere under ``src/``:
+    pickle is neither checksummed nor versioned, and unpickling
+    executes arbitrary code.
+    F2 — ``open(..., "wb")`` (any binary-write mode) under ``src/``
+    outside ``src/repro/persist/``: ad-hoc binary writers bypass the
+    torn-write protections recovery depends on.
+
 Entry points: :func:`lint_source` for one snippet (used by the
 self-tests), :func:`lint_repo` for the whole tree (used by
 ``python -m repro lint`` and CI).
@@ -81,6 +91,8 @@ PROTOCOL_SURFACE = frozenset(
         "shard_from_leaves",
         "shard_leaf_span",
         "shard_cut_spans",
+        "snapshot_state",
+        "restore_state",
     }
 )
 
@@ -155,6 +167,16 @@ def _in_scalar_scope(relpath: str) -> bool:
     return _posix(relpath) != "src/repro/api/results.py"
 
 
+def _in_format_scope(relpath: str) -> bool:
+    """Format rules apply to library code outside the persist package.
+
+    ``src/repro/persist/`` owns the on-disk formats; tests and
+    benchmarks may write fixture files freely.
+    """
+    p = _posix(relpath)
+    return p.startswith("src/") and not p.startswith("src/repro/persist/")
+
+
 # ---------------------------------------------------------------------------
 # per-file engine
 
@@ -214,6 +236,7 @@ def _check_calls(
     charge = _in_charge_scope(relpath)
     protocol = _in_protocol_scope(relpath)
     scalar = _in_scalar_scope(relpath)
+    fmt = _in_format_scope(relpath)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -262,10 +285,37 @@ def _check_calls(
                     "so access it directly (P1)",
                 )
 
+        # -- format-discipline -----------------------------------------
+        if fmt and isinstance(func, ast.Name) and func.id == "open":
+            mode_kw = next(
+                (kw for kw in node.keywords if kw.arg == "mode"), None
+            )
+            mode_node = mode_kw.value if mode_kw is not None else (
+                node.args[1] if len(node.args) > 1 else None
+            )
+            if (
+                isinstance(mode_node, ast.Constant)
+                and isinstance(mode_node.value, str)
+                and "b" in mode_node.value
+                and any(c in mode_node.value for c in "wax+")
+            ):
+                yield Violation(
+                    "format-discipline", relpath, node.lineno,
+                    f'open(..., "{mode_node.value}") writes binary index '
+                    "state outside repro.persist; on-disk formats live "
+                    "there, framed and checksummed (F2)",
+                )
+
         # -- seed-discipline -------------------------------------------
         qual = _qualify(func, aliases)
         if qual is None:
             continue
+        if fmt and qual in ("pickle.load", "pickle.loads"):
+            yield Violation(
+                "format-discipline", relpath, node.lineno,
+                f"{qual}() deserializes unchecksummed, code-executing "
+                "state; use the repro.persist snapshot container (F1)",
+            )
         if qual == "numpy.random.default_rng":
             if not node.args and not any(
                 kw.arg == "seed" or kw.arg is None for kw in node.keywords

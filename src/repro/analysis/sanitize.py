@@ -66,9 +66,13 @@ def check(obj: Any) -> None:
     from repro.baselines.bptree import BPlusTree
     from repro.baselines.fd_tree import FDTree
     from repro.core.bf_tree import BFTree
+    from repro.persist.durable import DurableIndex
     from repro.service.sharded import ShardedIndex
 
-    if isinstance(obj, ShardedIndex):
+    if isinstance(obj, DurableIndex):
+        # Durability is a wrapper concern; the structure lives inside.
+        check(obj.inner)
+    elif isinstance(obj, ShardedIndex):
         check_sharded(obj)
     elif isinstance(obj, BFTree):
         check_tree(obj)

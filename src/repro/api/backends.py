@@ -1,13 +1,16 @@
-"""Built-in backend registrations: the six servable index backends.
+"""Built-in backend registrations: the seven servable index backends.
 
 Imported lazily by :mod:`repro.api.registry` on first use.  Each
 builder normalizes the shared CLI knobs: every builder accepts
 ``unique``, ``config`` and ``fpp``; backends without a false-positive
-knob simply ignore ``fpp``, so one uniform call works for all six.
+knob simply ignore ``fpp``, so one uniform call works for all of them.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import weakref
 from typing import Any
 
 from repro.api.registry import register
@@ -55,6 +58,27 @@ def _build_binsearch(relation: Any, column: str, *, unique: bool = False,
     return SortedFileSearch(relation, column, unique=unique)
 
 
+def _build_durable(relation: Any, column: str, *, unique: bool = False,
+        config: Any = None, fpp: float | None = None) -> Any:
+    # Registry-built durable indexes get a throwaway WAL directory so
+    # they satisfy the uniform builder contract; callers who care where
+    # the log lives construct DurableIndex (or make_durable_service)
+    # directly with an explicit directory.
+    from repro.persist.durable import DurableIndex
+
+    path = tempfile.mkdtemp(prefix="repro-durable-")
+    index = DurableIndex(
+        _build_bf(relation, column, unique=unique, config=config, fpp=fpp),
+        path,
+        kind="bf",
+        column=column,
+        unique=unique,
+        fpp=fpp,
+    )
+    weakref.finalize(index, shutil.rmtree, path, ignore_errors=True)
+    return index
+
+
 register("bf", _build_bf,
          "BF-Tree: Bloom-filter leaves under a B+-Tree directory (the paper)")
 register("bplus", _build_bplus,
@@ -67,6 +91,8 @@ register("silt", _build_silt,
          "SILT sorted store + in-memory trie (point queries, immutable)")
 register("binsearch", _build_binsearch,
          "index-free binary/interpolation search on the sorted data file")
+register("durable", _build_durable,
+         "WAL + checkpoint wrapper around a BF-Tree (crash-recoverable)")
 
 # Stamp the registry names onto the classes so capability errors and
 # reports name the backend as the registry does.

@@ -61,18 +61,23 @@ class Capabilities:
     * ``scannable`` — ``range_scan`` is supported.
     * ``unique`` — the instance was built with primary-key semantics
       (probes stop at the first match).
+    * ``durable`` — mutations are write-ahead logged and the instance
+      checkpoints/recovers through :mod:`repro.persist` (only the
+      ``DurableIndex`` wrapper reports this).
     """
 
     ordered: bool
     mutable: bool
     scannable: bool
     unique: bool
+    durable: bool = False
 
     def summary(self) -> str:
         """Human-readable capability list for error messages."""
         names = [
             name
-            for name in ("ordered", "mutable", "scannable", "unique")
+            for name in ("ordered", "mutable", "scannable", "unique",
+                         "durable")
             if getattr(self, name)
         ]
         return ", ".join(names) if names else "none"
@@ -133,10 +138,18 @@ class Index(Protocol):
     def range_scan_many(self, windows: Sequence[tuple[Any, Any]],
                         latency_sink: list[float] | None = None
                         ) -> list[RangeScanResult]: ...
+    def snapshot_state(self) -> dict[str, Any]: ...
+    def restore_state(self, state: dict[str, Any]) -> None: ...
 
     # Declared surface, not duck-typed: callers read these directly
     # (reprolint's protocol-discipline rule forbids getattr probes).
     supports_sharding: bool
+
+    @property
+    def height(self) -> int: ...
+
+    @property
+    def n_leaves(self) -> int: ...
 
     @property
     def size_pages(self) -> int: ...
@@ -329,3 +342,28 @@ class IndexBackend(BatchFallbackMixin):
     def shard_cut_spans(left: Any, right: Any) -> bool:
         """True when cutting between two adjacent leaves would split a key."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpoint hooks (repro.persist serializes through these)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, Any]:
+        """Structural state for a checkpoint (see ``repro.persist``).
+
+        Immutable backends carry no state beyond their build inputs, so
+        the default emits a ``rebuild`` marker: recovery reconstructs
+        them from the relation recorded in the manifest.  Mutable
+        backends must override with a real structural dump — otherwise
+        a checkpoint would silently drop their post-build mutations.
+        """
+        if not self.capabilities().mutable:
+            return {"format": "rebuild", "backend": self._backend_label()}
+        raise self._unsupported("snapshot_state", "checkpointable")
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Restore the structural state captured by ``snapshot_state``."""
+        if state.get("format") != "rebuild":
+            raise ValueError(
+                f"{self._backend_label()} cannot restore snapshot format "
+                f"{state.get('format')!r}"
+            )
+        maybe_check(self)

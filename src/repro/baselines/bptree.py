@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_check
 from repro.api.protocol import Capabilities, IndexBackend
 from repro.api.results import (
     DeleteOutcome,
@@ -309,6 +310,64 @@ class BPlusTree(IndexBackend):
         if not left.keys or not right.keys:
             return True
         return right.keys[0] == left.keys[-1]
+
+    # ==================================================================
+    # checkpoint hooks (repro.persist)
+    # ==================================================================
+    def snapshot_state(self) -> dict:
+        """Structural dump: directory plus the exact leaf chain.
+
+        Node ids and the allocator cursor are preserved so the restored
+        tree charges identical simulated I/O (same descent paths, same
+        leaf page ids) as the original.
+        """
+        from dataclasses import fields
+
+        return {
+            "format": "bplus-tree",
+            "column": self.key_column,
+            "config": {f.name: getattr(self.config, f.name)
+                       for f in fields(self.config)},
+            "unique": self.unique,
+            "lo_key": self._lo_key,
+            "hi_key": self._hi_key,
+            "inner": self.inner.state_dict(),
+            "leaves": [
+                {"node_id": leaf.node_id, "keys": list(leaf.keys),
+                 "ridlists": [list(r) for r in leaf.ridlists]}
+                for leaf in self.leaves_in_order()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("format") != "bplus-tree":
+            raise ValueError(
+                f"BPlusTree cannot restore snapshot format "
+                f"{state.get('format')!r}"
+            )
+        self.config = BPlusTreeConfig(**state["config"])
+        self.unique = bool(state["unique"])
+        self._lo_key = state["lo_key"]
+        self._hi_key = state["hi_key"]
+        self.leaves = {}
+        chain: list[BPLeaf] = []
+        for rec in state["leaves"]:
+            leaf = BPLeaf(
+                node_id=int(rec["node_id"]),
+                keys=list(rec["keys"]),
+                ridlists=[[int(t) for t in rids] for rids in rec["ridlists"]],
+            )
+            self.leaves[leaf.node_id] = leaf
+            chain.append(leaf)
+        for prev, nxt in zip(chain, chain[1:]):
+            prev.next_leaf_id = nxt.node_id
+            nxt.prev_leaf_id = prev.node_id
+        if chain:
+            chain[0].prev_leaf_id = None
+            chain[-1].next_leaf_id = None
+        self._leaf_order = [leaf.node_id for leaf in chain]
+        self.inner.load_state(state["inner"])
+        maybe_check(self)
 
     def _descend_and_read(self, key) -> BPLeaf | None:
         try:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_check
 from repro.api.protocol import Capabilities, IndexBackend
 from repro.api.results import DeleteOutcome, SearchResult
 from repro.storage.buffer_pool import BufferPool
@@ -415,6 +416,43 @@ class FDTree(IndexBackend):
         for t in victims:
             bisect.insort(self.head, (key, -t - 1))  # negative tid = tombstone
         return DeleteOutcome(removed=True, tombstoned=True)
+
+    # ==================================================================
+    # checkpoint hooks (repro.persist)
+    # ==================================================================
+    def snapshot_state(self) -> dict:
+        """Structural dump: the head run plus every on-flash level.
+
+        Tombstones (negative tids) serialize as-is, so a restored tree
+        keeps the exact merge/annihilation state — recency semantics
+        and per-level page charges are bit-identical.
+        """
+        from dataclasses import fields
+
+        return {
+            "format": "fd-tree",
+            "column": self.key_column,
+            "config": {f.name: getattr(self.config, f.name)
+                       for f in fields(self.config)},
+            "unique": self.unique,
+            "head": [[k, t] for k, t in self.head],
+            "levels": [[[k, t] for k, t in level] for level in self.levels],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("format") != "fd-tree":
+            raise ValueError(
+                f"FDTree cannot restore snapshot format "
+                f"{state.get('format')!r}"
+            )
+        self.config = FDTreeConfig(**state["config"])
+        self.unique = bool(state["unique"])
+        self.head = [(k, int(t)) for k, t in state["head"]]
+        self.levels = [
+            [(k, int(t)) for k, t in level] for level in state["levels"]
+        ]
+        self._rebase_pages()
+        maybe_check(self)
 
     # ==================================================================
     # size accounting

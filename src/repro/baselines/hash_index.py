@@ -13,6 +13,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.analysis.sanitize import maybe_check
 from repro.api.protocol import Capabilities, IndexBackend
 from repro.api.results import DeleteOutcome, SearchResult
 from repro.storage.clock import CPU_HASH_PROBE
@@ -120,6 +121,37 @@ class HashIndex(IndexBackend):
         if not self._map[key]:
             del self._map[key]
         return DeleteOutcome(removed=True)
+
+    # ------------------------------------------------------------------
+    # checkpoint hooks (repro.persist): key-dump fallback — a hash index
+    # has no structural identity beyond its entries, so the dump *is*
+    # the complete state.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        items = list(self._map.items())
+        return {
+            "format": "hash-keydump",
+            "column": self.key_column,
+            "unique": self.unique,
+            "key_size": self.key_size,
+            "ptr_size": self.ptr_size,
+            "keys": [k for k, _ in items],
+            "tids": [list(v) for _, v in items],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("format") != "hash-keydump":
+            raise ValueError(
+                f"HashIndex cannot restore snapshot format "
+                f"{state.get('format')!r}"
+            )
+        self.unique = bool(state["unique"])
+        self.key_size = int(state["key_size"])
+        self.ptr_size = int(state["ptr_size"])
+        self._map = defaultdict(list)
+        for key, tids in zip(state["keys"], state["tids"]):
+            self._map[key] = [int(t) for t in tids]
+        maybe_check(self)
 
     # ------------------------------------------------------------------
     @property

@@ -9,6 +9,9 @@ Subcommands::
     python -m repro model       --fpp 1e-3
     python -m repro workloads
     python -m repro serve-bench --shards 1 2 4 8 --mix read_heavy --skew zipfian
+    python -m repro serve-bench --durable --wal-dir /tmp/svc --shards 4
+    python -m repro checkpoint  --index bf --dir /tmp/idx
+    python -m repro recover     --dir /tmp/idx
 
 Every command prints the same tables the benchmark harness produces, so
 results are scriptable without pytest.  A single ``--seed`` flag seeds
@@ -230,10 +233,70 @@ def cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Build an index and write a durable checkpoint to --dir."""
+    from repro.persist import DurableIndex, read_manifest
+
+    relation, column = _build_relation(args)
+    unique = column == "pk"
+    inner = _build_index(args.index, relation, column, args.fpp[0], unique)
+    durable = DurableIndex(
+        inner, args.dir, sync_every=args.sync_every,
+        checkpoint_every=args.checkpoint_every, kind=args.index,
+        column=column, unique=unique, fpp=args.fpp[0],
+    )
+    manifest = read_manifest(durable.manifest_path)
+    print(format_table(
+        ["field", "value"],
+        [
+            ["backend", manifest["backend"]],
+            ["column", manifest["column"]],
+            ["snapshot bytes", f"{manifest['snapshot']['bytes']:,}"],
+            ["snapshot crc32", f"{manifest['snapshot']['crc32']:#010x}"],
+            ["WAL generation", manifest["wal"]["generation"]],
+            ["directory", str(durable.directory)],
+        ],
+        title=f"checkpoint: {args.index} on {args.workload}.{column} "
+              f"({relation.ntuples} tuples)",
+    ))
+    durable.close()
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a durable index from --dir and report what came back."""
+    from repro.persist import recover, replay_wal
+    from repro.persist.errors import PersistError
+
+    relation, _ = _build_relation(args)
+    try:
+        index = recover(args.dir, relation)
+    except PersistError as exc:
+        raise SystemExit(f"recovery failed: {exc}") from None
+    records, _ = replay_wal(index.wal_path)
+    print(format_table(
+        ["field", "value"],
+        [
+            ["backend", index._kind],
+            ["height", index.height],
+            ["leaves", index.n_leaves],
+            ["index pages", index.size_pages],
+            ["WAL ops replayed", len(records)],
+            ["WAL generation", index._generation],
+        ],
+        title=f"recovered: {args.dir}",
+    ))
+    index.close()
+    return 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """Throughput and tail latency of the sharded service vs shard count."""
     relation, column = _build_relation(args)
     unique = column == "pk"
+    if args.durable and args.index == "durable":
+        raise SystemExit("--durable already wraps every shard; pick the "
+                         "base backend with --index (e.g. --index bf)")
     trace = generate_trace(
         relation, column, mix=args.mix, n_ops=args.ops, skew=args.skew,
         theta=args.theta, seed=derive_seed(args.seed, "trace"),
@@ -247,10 +310,27 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         # builder consumes fpp where it applies (BF) and ignores it
         # elsewhere.  Unshardable backends come back as one shard.
         try:
-            service = ShardedIndex.build(
-                relation, column, n_shards=n_shards, kind=args.index,
-                fpp=args.fpp[0], unique=unique,
-            )
+            if args.durable:
+                import tempfile
+                from pathlib import Path
+
+                from repro.persist import make_durable_service
+
+                wal_root = Path(
+                    args.wal_dir
+                    or tempfile.mkdtemp(prefix="repro-serve-wal-")
+                )
+                service = make_durable_service(
+                    relation, column, wal_root / f"shards-{n_shards}",
+                    n_shards=n_shards, kind=args.index,
+                    sync_every=args.sync_every, fpp=args.fpp[0],
+                    unique=unique,
+                )
+            else:
+                service = ShardedIndex.build(
+                    relation, column, n_shards=n_shards, kind=args.index,
+                    fpp=args.fpp[0], unique=unique,
+                )
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
         report = run_service(
@@ -446,6 +526,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "batch scan engine; same simulated results)")
     p_serve.add_argument("--threads", type=int, default=None,
                          help="replay shards on a thread pool of this size")
+    p_serve.add_argument("--durable", action="store_true",
+                         help="wrap every shard in a DurableIndex: "
+                              "mutations are WAL-logged (fsync-batched) "
+                              "before applying, and each shard owns a "
+                              "recoverable checkpoint directory")
+    p_serve.add_argument("--wal-dir", default=None,
+                         help="root directory for the per-shard WAL + "
+                              "snapshot directories (default: a fresh "
+                              "temp directory); recover later with "
+                              "repro.persist.recover_service")
+    p_serve.add_argument("--sync-every", type=int, default=32,
+                         help="WAL records per fsync when --durable "
+                              "(1 acknowledges every op individually)")
     p_serve.add_argument("--json", action="store_true",
                          help="also print the full reports as JSON")
     p_serve.add_argument("--out", default=None,
@@ -453,6 +546,34 @@ def build_parser() -> argparse.ArgumentParser:
     # The sweep grid's 0.2 head would drown the service in false reads;
     # serve at the paper's accurate end instead.
     p_serve.set_defaults(func=cmd_serve_bench, fpp=[1e-3])
+
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="build an index and write a durable checkpoint directory",
+    )
+    _add_common(p_ckpt)
+    p_ckpt.add_argument("--index", default="bf",
+                        choices=[n for n in registered_backends()
+                                 if n != "durable"],
+                        help="backend to wrap (durable itself is the "
+                             "wrapper this command builds)")
+    p_ckpt.add_argument("--dir", required=True,
+                        help="durability directory (manifest + snapshot "
+                             "+ WAL)")
+    p_ckpt.add_argument("--sync-every", type=int, default=1,
+                        help="WAL records per fsync")
+    p_ckpt.add_argument("--checkpoint-every", type=int, default=None,
+                        help="auto-checkpoint after this many mutations")
+    p_ckpt.set_defaults(func=cmd_checkpoint)
+
+    p_rec = sub.add_parser(
+        "recover",
+        help="recover a durable index (snapshot + WAL-tail replay)",
+    )
+    _add_common(p_rec)
+    p_rec.add_argument("--dir", required=True,
+                       help="durability directory written by checkpoint")
+    p_rec.set_defaults(func=cmd_recover)
 
     p_wl = sub.add_parser("workloads", help="workload generator statistics")
     p_wl.add_argument("--tuples", type=int, default=32768)

@@ -582,6 +582,174 @@ class BFTree(IndexBackend):
         return right.min_key is not None and right.min_key == left.max_key
 
     # ==================================================================
+    # checkpoint hooks (repro.persist)
+    # ==================================================================
+    def snapshot_state(self) -> dict:
+        """Full structural dump: directory, leaf chain, filter bitsets.
+
+        Node ids, chain pointers and the allocator cursor are captured
+        verbatim so a restored tree is *bit-identical* to the original —
+        same descent paths, same filter bit patterns (and therefore the
+        same false positives), same simulated I/O charges.  Filter seeds
+        ride along per leaf, exactly as in the sharding path.
+        """
+        return {
+            "format": "bf-tree",
+            "column": self.key_column,
+            "config": {f.name: getattr(self.config, f.name)
+                       for f in fields(self.config)},
+            "unique": self.unique,
+            "ordered": self.ordered,
+            "avg_cardinality": self._avg_cardinality,
+            "geometry": (None if self.geometry is None
+                         else dict(vars(self.geometry))),
+            "inner": self.inner.state_dict(),
+            "leaves": [self._leaf_state(leaf)
+                       for leaf in self.leaves_in_order()],
+        }
+
+    @staticmethod
+    def _filters_state(filters) -> dict:
+        """Columnar dump of a leaf's per-group filters.
+
+        A leaf holds one filter per page group — hundreds for a large
+        leaf — so per-filter JSON dicts would dwarf the actual bit
+        arrays.  Instead the metadata rides in packed arrays and every
+        bit/counter payload is concatenated into one blob per kind,
+        keeping the checkpoint close to the information-theoretic size
+        the paper's Table 2 space story depends on.
+        """
+        from repro.core.variants import CountingBloomFilter
+
+        n = len(filters)
+        kinds = np.zeros(n, dtype=np.uint8)  # 0 = plain, 1 = counting
+        nbits = np.zeros(n, dtype=np.int32)
+        ks = np.zeros(n, dtype=np.int16)
+        seeds = np.zeros(n, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int32)
+        counter_bits = np.zeros(n, dtype=np.uint8)
+        word_parts: list[np.ndarray] = []
+        counter_parts: list[bytes] = []
+        for i, f in enumerate(filters):
+            nbits[i], ks[i], seeds[i] = f.nbits, f.k, f.seed
+            counts[i] = f.count
+            if isinstance(f, CountingBloomFilter):
+                kinds[i] = 1
+                counter_bits[i] = f.counter_bits
+                counter_parts.append(bytes(f._counters))
+            else:
+                word_parts.append(np.asarray(f._words, dtype=np.uint64))
+        return {
+            "n": n,
+            "kinds": kinds,
+            "nbits": nbits,
+            "k": ks,
+            "seed": seeds,
+            "count": counts,
+            "counter_bits": counter_bits,
+            "words": (np.concatenate(word_parts) if word_parts
+                      else np.zeros(0, dtype=np.uint64)),
+            "counters": b"".join(counter_parts),
+        }
+
+    def _leaf_state(self, leaf: BFLeaf) -> dict:
+        return {
+            "node_id": leaf.node_id,
+            "min_pid": leaf.min_pid,
+            "min_key": leaf.min_key,
+            "max_key": leaf.max_key,
+            "nkeys": leaf.nkeys,
+            "pages_covered": leaf.pages_covered,
+            "deleted_keys": sorted(leaf.deleted_keys),
+            "extra_inserts": leaf.extra_inserts,
+            "spill_back_pages": leaf.spill_back_pages,
+            "filter_seed": leaf.filter_seed,
+            "geometry": dict(vars(leaf.geometry)),
+            "filters": self._filters_state(leaf.filters),
+        }
+
+    @staticmethod
+    def _filters_from_state(rec: dict) -> list:
+        from repro.core.bloom import BloomFilter
+        from repro.core.variants import CountingBloomFilter
+
+        kinds = np.asarray(rec["kinds"], dtype=np.uint8)
+        nbits = np.asarray(rec["nbits"], dtype=np.int64)
+        ks = np.asarray(rec["k"], dtype=np.int64)
+        seeds = np.asarray(rec["seed"], dtype=np.int64)
+        counts = np.asarray(rec["count"], dtype=np.int64)
+        counter_bits = np.asarray(rec["counter_bits"], dtype=np.int64)
+        words = np.asarray(rec["words"], dtype=np.uint64)
+        counters = rec["counters"]
+        filters = []
+        w_off = c_off = 0
+        for i in range(int(rec["n"])):
+            if kinds[i]:
+                cf = CountingBloomFilter(
+                    int(nbits[i]), int(ks[i]), int(seeds[i]),
+                    counter_bits=int(counter_bits[i]),
+                )
+                span = len(cf._counters)
+                cf._counters = bytearray(counters[c_off:c_off + span])
+                c_off += span
+                cf.count = int(counts[i])
+                filters.append(cf)
+            else:
+                bf = BloomFilter(int(nbits[i]), int(ks[i]), int(seeds[i]))
+                span = len(bf._words)
+                bf._words = words[w_off:w_off + span].copy()
+                w_off += span
+                bf.count = int(counts[i])
+                filters.append(bf)
+        return filters
+
+    @staticmethod
+    def _leaf_from_state(rec: dict) -> BFLeaf:
+        seed = rec["filter_seed"]
+        return BFLeaf(
+            node_id=int(rec["node_id"]),
+            geometry=BFLeafGeometry(**rec["geometry"]),
+            min_pid=int(rec["min_pid"]),
+            min_key=rec["min_key"],
+            max_key=rec["max_key"],
+            nkeys=int(rec["nkeys"]),
+            filters=BFTree._filters_from_state(rec["filters"]),
+            pages_covered=int(rec["pages_covered"]),
+            deleted_keys=set(rec["deleted_keys"]),
+            extra_inserts=int(rec["extra_inserts"]),
+            spill_back_pages=int(rec["spill_back_pages"]),
+            filter_seed=None if seed is None else int(seed),
+        )
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("format") != "bf-tree":
+            raise ValueError(
+                f"BFTree cannot restore snapshot format "
+                f"{state.get('format')!r}"
+            )
+        self.config = BFTreeConfig(**state["config"])
+        self.unique = bool(state["unique"])
+        self.ordered = bool(state["ordered"])
+        self._avg_cardinality = float(state["avg_cardinality"])
+        geo = state["geometry"]
+        self.geometry = None if geo is None else BFLeafGeometry(**geo)
+        self.leaves = {}
+        chain: list[BFLeaf] = []
+        for rec in state["leaves"]:
+            leaf = self._leaf_from_state(rec)
+            self.leaves[leaf.node_id] = leaf
+            chain.append(leaf)
+        for prev, nxt in zip(chain, chain[1:]):
+            prev.next_leaf_id = nxt.node_id
+            nxt.prev_leaf_id = prev.node_id
+        if chain:
+            chain[0].prev_leaf_id = None
+            chain[-1].next_leaf_id = None
+        self._leaf_order = [leaf.node_id for leaf in chain]
+        self.inner.load_state(state["inner"])
+        maybe_check(self)
+
+    # ==================================================================
     # point search (Algorithm 1)
     # ==================================================================
     def search(self, key) -> SearchResult:

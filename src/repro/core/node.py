@@ -387,3 +387,52 @@ class InnerTree:
     def internal_node_ids(self) -> list[int]:
         """Ids of all internal nodes (for warm-cache prefaulting)."""
         return list(self.nodes)
+
+    # ------------------------------------------------------------------
+    # checkpoint serialization (repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Directory state for a checkpoint: nodes, root, allocator cursor.
+
+        Serializing the directory verbatim (instead of re-running the
+        bulk build on restore) keeps node ids — and therefore every
+        simulated index-page charge — bit-identical across a
+        checkpoint/restore cycle.
+        """
+        return {
+            "fanout": self.fanout,
+            "root_id": self.root_id,
+            "single_leaf": self._single_leaf,
+            "next_id": self.store._next_id,
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "keys": list(node.keys),
+                    "children": list(node.children),
+                    "level": node.level,
+                }
+                for node in self.nodes.values()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the directory captured by :meth:`state_dict`.
+
+        Keeps the existing :class:`NodeStore` (and with it any live
+        device/pool binding); only the allocator cursor is overwritten.
+        """
+        self.fanout = int(state["fanout"])
+        self.nodes.clear()
+        for rec in state["nodes"]:
+            node = InternalNode(
+                node_id=int(rec["node_id"]),
+                keys=list(rec["keys"]),
+                children=[int(c) for c in rec["children"]],
+                level=int(rec["level"]),
+            )
+            self.nodes[node.node_id] = node
+        root = state["root_id"]
+        self.root_id = None if root is None else int(root)
+        single = state["single_leaf"]
+        self._single_leaf = None if single is None else int(single)
+        self.store._next_id = int(state["next_id"])

@@ -1,0 +1,76 @@
+"""Durability subsystem: write-ahead log, checkpoints, crash recovery.
+
+Layers, bottom-up:
+
+* :mod:`repro.persist.wal` — length+CRC32-framed mutation log with
+  batched fsync and torn-tail-tolerant replay;
+* :mod:`repro.persist.snapshot` — checksummed container for any
+  backend's ``snapshot_state()`` dict (NumPy filter words and counter
+  bytes stored as raw blobs);
+* :mod:`repro.persist.manifest` — atomically-replaced JSON commit
+  point tying a snapshot and a WAL generation together;
+* :mod:`repro.persist.durable` — :class:`DurableIndex`, the
+  protocol-conforming wrapper that logs before applying and
+  checkpoints on demand or every N ops, plus :func:`recover`;
+* :mod:`repro.persist.service` — per-shard durability for the
+  sharded serving layer (:func:`make_durable_service` /
+  :func:`recover_service`).
+
+This package is the *only* place in ``src/`` allowed to open files in
+binary-write mode or define on-disk formats — reprolint's
+format-discipline rule enforces that boundary.
+"""
+
+from repro.persist.durable import SNAPSHOT_NAME, DurableIndex, recover
+from repro.persist.errors import (
+    CorruptManifestError,
+    CorruptSnapshotError,
+    PersistError,
+)
+from repro.persist.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    atomic_write_json,
+    read_manifest,
+    write_manifest,
+)
+from repro.persist.service import (
+    SERVICE_MANIFEST,
+    make_durable_service,
+    recover_service,
+)
+from repro.persist.snapshot import (
+    file_crc32,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.persist.wal import (
+    WriteAheadLog,
+    apply_record,
+    replay_wal,
+    truncate_wal,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "SERVICE_MANIFEST",
+    "SNAPSHOT_NAME",
+    "CorruptManifestError",
+    "CorruptSnapshotError",
+    "DurableIndex",
+    "PersistError",
+    "WriteAheadLog",
+    "apply_record",
+    "atomic_write_json",
+    "file_crc32",
+    "make_durable_service",
+    "read_manifest",
+    "read_snapshot",
+    "recover",
+    "recover_service",
+    "replay_wal",
+    "truncate_wal",
+    "write_manifest",
+    "write_snapshot",
+]

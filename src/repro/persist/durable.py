@@ -1,0 +1,367 @@
+"""DurableIndex: WAL + checkpoint wrapper around any registered backend.
+
+The wrapper owns one directory::
+
+    <dir>/MANIFEST.json        atomic commit point (see manifest.py)
+    <dir>/snapshot.bin         checksummed structural snapshot
+    <dir>/wal-<generation>.log framed mutation log since the checkpoint
+
+Every mutation is logged *before* it is applied (WAL-before-apply), and
+acknowledged once the log record is fsynced (``sync_every`` batches
+fsyncs).  :meth:`DurableIndex.checkpoint` snapshots the inner backend's
+structural state through the protocol's ``snapshot_state()`` hook,
+commits the manifest, and rotates to a fresh WAL generation.
+:func:`recover` rebuilds the backend from the manifest's build inputs,
+restores the snapshot, replays the WAL tail (truncating any torn
+frames), and returns a live wrapper — the recovered tree is
+*bit-identical* to the crashed one up to the last acknowledged op: same
+search/scan results, same simulated I/O charges, same structural
+sanitizer verdict.
+
+Reads delegate straight to the inner backend; the WAL is real file I/O
+outside the storage simulator, so durability never perturbs IOStats or
+the simulated clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.api.protocol import Capabilities, Index, IndexBackend
+from repro.api.results import (
+    DeleteOutcome,
+    RangeScanResult,
+    SearchResult,
+    as_scalar,
+)
+from repro.persist.errors import CorruptManifestError, CorruptSnapshotError
+from repro.persist.manifest import MANIFEST_NAME, read_manifest, write_manifest
+from repro.persist.snapshot import file_crc32, read_snapshot, write_snapshot
+from repro.persist.wal import (
+    WriteAheadLog,
+    apply_record,
+    replay_wal,
+    truncate_wal,
+)
+
+SNAPSHOT_NAME = "snapshot.bin"
+
+
+def _wal_name(generation: int) -> str:
+    return f"wal-{generation:08d}.log"
+
+
+class DurableIndex(IndexBackend):
+    """Crash-safe wrapper conforming to the same Index protocol.
+
+    ``kind`` / ``column`` / ``unique`` / ``fpp`` / ``seed`` are the
+    build inputs recorded in the manifest so :func:`recover` can
+    reconstruct the inner backend via the registry before restoring
+    its snapshot.
+    """
+
+    backend_name = "durable"
+    supports_sharding = False
+
+    def __init__(
+        self,
+        inner: Index,
+        directory: str | Path,
+        *,
+        sync_every: int = 1,
+        checkpoint_every: int | None = None,
+        kind: str | None = None,
+        column: str | None = None,
+        unique: bool = False,
+        fpp: float | None = None,
+        seed: int | None = None,
+        _recovered_generation: int | None = None,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        self.inner = inner
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_every = sync_every
+        self.checkpoint_every = checkpoint_every
+        self._kind = kind if kind is not None else ""
+        self._column = column
+        self._unique = unique
+        self._fpp = fpp
+        self._seed = seed
+        self._ops_total = 0
+        self._ops_since_checkpoint = 0
+        self._generation = 0
+        self._wal: WriteAheadLog | None = None
+        if _recovered_generation is None:
+            # Initial checkpoint: the bulk-loaded state must itself be
+            # recoverable before the first mutation is acknowledged.
+            self.checkpoint()
+        else:
+            # recover() restored the snapshot and replayed the tail;
+            # reopen the manifest's WAL generation in append mode.
+            self._generation = _recovered_generation
+            self._wal = WriteAheadLog(
+                self.directory / _wal_name(self._generation),
+                sync_every=sync_every,
+            )
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_NAME
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / _wal_name(self._generation)
+
+    # ------------------------------------------------------------------
+    # protocol surface: reads delegate, writes log first
+    # ------------------------------------------------------------------
+    def bind(self, stack: Any, warm: bool = False) -> None:
+        self.inner.bind(stack, warm=warm)
+
+    def unbind(self) -> None:
+        self.inner.unbind()
+
+    def capabilities(self) -> Capabilities:
+        return dataclasses.replace(self.inner.capabilities(), durable=True)
+
+    def write_target(self, tid: int) -> int:
+        return self.inner.write_target(tid)
+
+    def search(self, key: Any) -> SearchResult:
+        return self.inner.search(key)
+
+    def search_many(self, keys: Sequence[Any],
+                    latency_sink: list[float] | None = None
+                    ) -> list[SearchResult]:
+        return self.inner.search_many(keys, latency_sink=latency_sink)
+
+    def range_scan(self, lo: Any, hi: Any) -> RangeScanResult:
+        return self.inner.range_scan(lo, hi)
+
+    def range_scan_many(self, windows: Sequence[tuple[Any, Any]],
+                        latency_sink: list[float] | None = None
+                        ) -> list[RangeScanResult]:
+        return self.inner.range_scan_many(windows,
+                                          latency_sink=latency_sink)
+
+    def insert(self, key: Any, target: int) -> None:
+        self._require_mutable("insert")
+        k = as_scalar(key)
+        self._log({"op": "insert", "key": k, "target": int(target)})
+        self.inner.insert(k, target)
+        self._note_ops(1)
+
+    def delete(self, key: Any, target: int | None = None) -> DeleteOutcome:
+        self._require_mutable("delete")
+        k = as_scalar(key)
+        self._log({"op": "delete", "key": k,
+                   "target": None if target is None else int(target)})
+        outcome = self.inner.delete(k, target)
+        self._note_ops(1)
+        return outcome
+
+    def insert_many(self, keys: Sequence[Any], targets: Sequence[int],
+                    latency_sink: list[float] | None = None) -> None:
+        self._require_mutable("insert_many")
+        ks = [as_scalar(k) for k in keys]
+        self._log({"op": "insert_many", "keys": ks,
+                   "targets": [int(t) for t in targets]})
+        self.inner.insert_many(ks, targets, latency_sink=latency_sink)
+        self._note_ops(len(ks))
+
+    def delete_many(self, keys: Sequence[Any],
+                    targets: Sequence[int | None] | None = None,
+                    latency_sink: list[float] | None = None
+                    ) -> list[DeleteOutcome]:
+        self._require_mutable("delete_many")
+        ks = [as_scalar(k) for k in keys]
+        self._log({
+            "op": "delete_many",
+            "keys": ks,
+            "targets": None if targets is None else [
+                None if t is None else int(t) for t in targets
+            ],
+        })
+        outcomes = self.inner.delete_many(ks, targets,
+                                         latency_sink=latency_sink)
+        self._note_ops(len(ks))
+        return outcomes
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return self.inner.snapshot_state()
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.inner.restore_state(state)
+
+    @property
+    def height(self) -> int:
+        return self.inner.height
+
+    @property
+    def n_leaves(self) -> int:
+        return self.inner.n_leaves
+
+    @property
+    def size_pages(self) -> int:
+        return self.inner.size_pages
+
+    # ------------------------------------------------------------------
+    # durability machinery
+    # ------------------------------------------------------------------
+    def _require_mutable(self, op: str) -> None:
+        if not self.inner.capabilities().mutable:
+            raise self._unsupported(op, "mutable")
+
+    def _log(self, record: dict[str, Any]) -> None:
+        assert self._wal is not None
+        self._wal.append(record)
+
+    def _note_ops(self, n: int) -> None:
+        self._ops_total += n
+        self._ops_since_checkpoint += n
+        if (self.checkpoint_every is not None
+                and self._ops_since_checkpoint >= self.checkpoint_every):
+            self.checkpoint()
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the inner backend, commit the manifest, rotate the WAL.
+
+        The manifest write is the commit point: it names the *next* WAL
+        generation before that file exists, so a crash at any step
+        leaves either the old checkpoint (manifest not yet replaced) or
+        the new one with an empty log — never a state that would replay
+        already-checkpointed ops.
+        """
+        old_wal = self._wal
+        if old_wal is not None:
+            old_wal.close()
+            self._wal = None
+        nbytes, crc = write_snapshot(self.snapshot_path,
+                                     self.inner.snapshot_state())
+        generation = self._generation + 1
+        manifest: dict[str, Any] = {
+            "backend": self._kind,
+            "column": self._column,
+            "unique": self._unique,
+            "fpp": self._fpp,
+            "seed": self._seed,
+            "capabilities": dataclasses.asdict(self.capabilities()),
+            "sync_every": self.sync_every,
+            "checkpoint_every": self.checkpoint_every,
+            "snapshot": {"file": SNAPSHOT_NAME, "bytes": nbytes,
+                         "crc32": crc},
+            "wal": {"file": _wal_name(generation),
+                    "generation": generation},
+            "ops_at_checkpoint": self._ops_total,
+        }
+        write_manifest(self.manifest_path, manifest)
+        stale = self.directory / _wal_name(self._generation)
+        self._generation = generation
+        self._wal = WriteAheadLog(self.wal_path, sync_every=self.sync_every)
+        stale.unlink(missing_ok=True)
+        self._ops_since_checkpoint = 0
+        return manifest
+
+    def sync(self) -> None:
+        """Force-acknowledge any unsynced WAL tail."""
+        if self._wal is not None:
+            self._wal.sync()
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+
+def recover(
+    directory: str | Path,
+    relation: Any,
+    *,
+    sync_every: int | None = None,
+    checkpoint_every: int | None = None,
+) -> DurableIndex:
+    """Rebuild a :class:`DurableIndex` from its directory.
+
+    Sequence: read the manifest (commit point), rebuild the inner
+    backend from the recorded build inputs via the registry, verify and
+    restore the snapshot, replay the WAL tail (truncating torn frames),
+    and reopen the log for appending.  Every acknowledged op is
+    re-applied; a torn tail op was never acknowledged and disappears.
+    """
+    from repro.api.registry import make_index
+
+    d = Path(directory)
+    manifest = read_manifest(d / MANIFEST_NAME)
+    kind = manifest.get("backend")
+    column = manifest.get("column")
+    if not isinstance(kind, str) or not kind:
+        raise CorruptManifestError(
+            f"manifest in {d} does not name a backend kind"
+        )
+    if not isinstance(column, str) or not column:
+        raise CorruptManifestError(
+            f"manifest in {d} does not name an indexed column"
+        )
+    unique = bool(manifest.get("unique", False))
+    fpp = manifest.get("fpp")
+    inner = make_index(kind, relation, column, unique=unique, fpp=fpp)
+
+    snap = manifest.get("snapshot")
+    wal_info = manifest.get("wal")
+    if not isinstance(snap, dict) or not isinstance(wal_info, dict):
+        raise CorruptManifestError(
+            f"manifest in {d} lacks snapshot/wal records"
+        )
+    snapshot_path = d / str(snap["file"])
+    try:
+        found_crc = file_crc32(snapshot_path)
+    except FileNotFoundError:
+        raise CorruptSnapshotError(
+            f"snapshot file missing: {snapshot_path}"
+        ) from None
+    if found_crc != int(snap["crc32"]):
+        raise CorruptSnapshotError(
+            f"snapshot {snapshot_path.name} checksum {found_crc:#010x} "
+            f"disagrees with manifest {int(snap['crc32']):#010x}"
+        )
+    if snapshot_path.stat().st_size != int(snap["bytes"]):
+        raise CorruptSnapshotError(
+            f"snapshot {snapshot_path.name} is "
+            f"{snapshot_path.stat().st_size} bytes, manifest records "
+            f"{int(snap['bytes'])}"
+        )
+    inner.restore_state(read_snapshot(snapshot_path))
+
+    wal_path = d / str(wal_info["file"])
+    records, valid_bytes = replay_wal(wal_path)
+    truncate_wal(wal_path, valid_bytes)
+    for record in records:
+        apply_record(inner, record)
+
+    index = DurableIndex(
+        inner,
+        d,
+        sync_every=(int(manifest.get("sync_every", 1))
+                    if sync_every is None else sync_every),
+        checkpoint_every=(manifest.get("checkpoint_every")
+                          if checkpoint_every is None else checkpoint_every),
+        kind=kind,
+        column=column,
+        unique=unique,
+        fpp=None if fpp is None else float(fpp),
+        seed=manifest.get("seed"),
+        _recovered_generation=int(wal_info["generation"]),
+    )
+    index._ops_total = int(manifest.get("ops_at_checkpoint", 0)) + len(records)
+    return index

@@ -1,0 +1,15 @@
+"""Exception types of the durability subsystem."""
+
+from __future__ import annotations
+
+
+class PersistError(Exception):
+    """Base error for checkpoint / WAL / manifest handling."""
+
+
+class CorruptSnapshotError(PersistError):
+    """A snapshot file failed its magic / checksum / shape validation."""
+
+
+class CorruptManifestError(PersistError):
+    """A manifest file is missing, unparsable, or incomplete."""

@@ -1,0 +1,83 @@
+"""Atomic checkpoint manifest: the commit point of a checkpoint.
+
+The manifest is a small JSON file recording the backend kind, build
+inputs (column, uniqueness, fpp, seed), capability descriptor, the
+snapshot file's size and CRC32, and the name of the WAL *generation*
+that starts after the checkpoint.  It is written atomically — temp
+file, flush, fsync, ``os.replace``, directory fsync — so recovery
+always sees either the previous complete checkpoint or the new one,
+never a torn in-between.
+
+WAL rotation rides the manifest's atomicity: each checkpoint names a
+fresh ``wal-<generation>.log`` in the manifest *before* creating it.
+If a crash lands between manifest commit and WAL creation, replay of
+the (missing) new log is simply empty — the stale previous-generation
+log is never replayed, so checkpointed ops cannot be applied twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.persist.errors import CorruptManifestError
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+
+def atomic_write_json(path: str | Path, data: dict[str, Any]) -> None:
+    """Write JSON with write-temp / fsync / rename atomicity."""
+    target = Path(path)
+    payload = json.dumps(data, indent=2, sort_keys=True).encode("utf-8")
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as f:
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, target)
+    _fsync_dir(target.parent)
+
+
+def write_manifest(path: str | Path, data: dict[str, Any]) -> None:
+    atomic_write_json(path, {"version": MANIFEST_VERSION, **data})
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """Parse and validate a manifest; raise :class:`CorruptManifestError`."""
+    p = Path(path)
+    try:
+        raw = p.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise CorruptManifestError(f"manifest missing: {p}") from None
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CorruptManifestError(
+            f"manifest {p.name} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(data, dict):
+        raise CorruptManifestError(
+            f"manifest {p.name} is {type(data).__name__}, not an object"
+        )
+    if data.get("version") != MANIFEST_VERSION:
+        raise CorruptManifestError(
+            f"manifest {p.name} has version {data.get('version')!r}, "
+            f"expected {MANIFEST_VERSION}"
+        )
+    return data
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)

@@ -1,0 +1,129 @@
+"""Durable sharded serving: per-shard WAL + checkpoint directories.
+
+:func:`make_durable_service` builds a :class:`ShardedIndex` through the
+usual registry path, then wraps every shard's index in a
+:class:`DurableIndex` rooted at ``<dir>/shard-<i>/`` — each shard owns
+its *own* WAL and snapshot, exactly as the partitions of a distributed
+index own their logs.  A top-level ``SERVICE.json`` (written with the
+same temp/fsync/rename atomicity as shard manifests) records the shard
+layout: kind, column, uniqueness, routing fences, donor height.
+
+:func:`recover_service` reverses it — read the service manifest,
+:func:`~repro.persist.durable.recover` every shard directory, and
+reassemble the :class:`ShardedIndex` with the recorded fences, so the
+Router serves the exact tree the crashed process had acknowledged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.api.results import as_scalar
+from repro.persist.durable import DurableIndex, recover
+from repro.persist.errors import CorruptManifestError
+from repro.persist.manifest import atomic_write_json, read_manifest
+from repro.service.sharded import Shard, ShardedIndex
+from repro.storage.relation import Relation
+
+SERVICE_MANIFEST = "SERVICE.json"
+SERVICE_VERSION = 1
+
+
+def _shard_dir(root: Path, i: int) -> Path:
+    return root / f"shard-{i:03d}"
+
+
+def make_durable_service(
+    relation: Relation,
+    key_column: str,
+    directory: str | Path,
+    *,
+    n_shards: int = 4,
+    kind: str = "bf",
+    unique: bool = False,
+    config: Any = None,
+    sync_every: int = 1,
+    checkpoint_every: int | None = None,
+    **cfg: Any,
+) -> ShardedIndex:
+    """Build a sharded service whose every shard is durable.
+
+    Each shard's index is wrapped in a :class:`DurableIndex` with its
+    own directory under ``directory`` (initial checkpoint included, so
+    the freshly built service is immediately recoverable), and the
+    service manifest committing the shard layout is written last.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    service = ShardedIndex.build(relation, key_column, n_shards=n_shards,
+                                 kind=kind, config=config, unique=unique,
+                                 **cfg)
+    fpp = cfg.get("fpp")
+    for i, shard in enumerate(service.shards):
+        shard.index = DurableIndex(
+            shard.index,
+            _shard_dir(root, i),
+            sync_every=sync_every,
+            checkpoint_every=checkpoint_every,
+            kind=kind,
+            column=key_column,
+            unique=unique,
+            fpp=None if fpp is None else float(fpp),
+        )
+    atomic_write_json(root / SERVICE_MANIFEST, {
+        "version": SERVICE_VERSION,
+        "kind": kind,
+        "column": key_column,
+        "unique": unique,
+        "n_shards": service.n_shards,
+        "lo_keys": [as_scalar(s.lo_key) for s in service.shards],
+        "hi_keys": [as_scalar(s.hi_key) for s in service.shards],
+        "donor_height": service.donor_height,
+    })
+    return service
+
+
+def recover_service(
+    directory: str | Path,
+    relation: Relation,
+    *,
+    sync_every: int | None = None,
+    checkpoint_every: int | None = None,
+) -> ShardedIndex:
+    """Rebuild a durable sharded service from its directory tree.
+
+    Each ``shard-<i>`` directory recovers independently (snapshot +
+    WAL-tail replay); the routing fences come from the service manifest,
+    so routing after recovery is identical to routing before the crash.
+    """
+    root = Path(directory)
+    manifest = read_manifest(root / SERVICE_MANIFEST)
+    if manifest.get("version") != SERVICE_VERSION:
+        raise CorruptManifestError(
+            f"service manifest has version {manifest.get('version')!r}, "
+            f"expected {SERVICE_VERSION}"
+        )
+    n_shards = int(manifest["n_shards"])
+    lo_keys = list(manifest["lo_keys"])
+    hi_keys = list(manifest["hi_keys"])
+    if len(lo_keys) != n_shards or len(hi_keys) != n_shards:
+        raise CorruptManifestError(
+            f"service manifest fence lists disagree with n_shards="
+            f"{n_shards}"
+        )
+    shards: list[Shard] = []
+    for i in range(n_shards):
+        index = recover(_shard_dir(root, i), relation,
+                        sync_every=sync_every,
+                        checkpoint_every=checkpoint_every)
+        shards.append(Shard(index=index, lo_key=lo_keys[i],
+                            hi_key=hi_keys[i]))
+    return ShardedIndex(
+        relation,
+        str(manifest["column"]),
+        shards,
+        str(manifest["kind"]),
+        bool(manifest["unique"]),
+        int(manifest["donor_height"]),
+    )

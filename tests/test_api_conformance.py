@@ -44,12 +44,17 @@ FPP = 1e-3
 
 #: The documented capability matrix (also in the README).
 EXPECTED_CAPS = {
-    "bf": dict(ordered=True, mutable=True, scannable=True),
-    "bplus": dict(ordered=True, mutable=True, scannable=True),
-    "fd": dict(ordered=True, mutable=True, scannable=False),
-    "hash": dict(ordered=False, mutable=True, scannable=False),
-    "silt": dict(ordered=True, mutable=False, scannable=False),
-    "binsearch": dict(ordered=True, mutable=False, scannable=False),
+    "bf": dict(ordered=True, mutable=True, scannable=True, durable=False),
+    "bplus": dict(ordered=True, mutable=True, scannable=True, durable=False),
+    "fd": dict(ordered=True, mutable=True, scannable=False, durable=False),
+    "hash": dict(ordered=False, mutable=True, scannable=False,
+                 durable=False),
+    "silt": dict(ordered=True, mutable=False, scannable=False,
+                 durable=False),
+    "binsearch": dict(ordered=True, mutable=False, scannable=False,
+                      durable=False),
+    "durable": dict(ordered=True, mutable=True, scannable=True,
+                    durable=True),
 }
 
 MUTABLE = [n for n, c in EXPECTED_CAPS.items() if c["mutable"]]
@@ -72,7 +77,7 @@ def _probe_keys():
 # ======================================================================
 # registry + protocol shape
 # ======================================================================
-def test_registry_lists_the_six_backends():
+def test_registry_matches_expected_caps_table():
     assert BACKENDS == sorted(EXPECTED_CAPS)
 
 
@@ -91,6 +96,7 @@ def test_capability_descriptor(name, pk_relation):
     assert caps.ordered == expected["ordered"]
     assert caps.mutable == expected["mutable"]
     assert caps.scannable == expected["scannable"]
+    assert caps.durable == expected["durable"]
     assert caps.unique is True
 
 
@@ -316,3 +322,55 @@ def test_service_trace_batch_fallback_bit_identity(name, pk_relation):
     assert batched.io == scalar.io
     assert np.allclose(batched.stats.op_latencies,
                        scalar.stats.op_latencies, rtol=1e-9)
+
+
+# ======================================================================
+# checkpoint state round-trip: snapshot_state -> restore_state
+# ======================================================================
+@pytest.mark.parametrize("name", BACKENDS)
+def test_snapshot_restore_round_trip_bit_identity(name, pk_relation):
+    """Every backend's structural state survives the checkpoint hooks.
+
+    A freshly built index restored from a mutated source's
+    ``snapshot_state()`` must behave *bit-identically* to the source:
+    same search/scan results, same IOStats charges (node ids, chain
+    order, filter bits and allocator cursors all survive), same
+    structural footprint.  Immutable backends round-trip through the
+    rebuild-format fallback.
+    """
+    source = _build(name, pk_relation)
+    caps = source.capabilities()
+    if caps.mutable:
+        source.delete(55)
+        source.delete_many([300, 301, 302])
+        source.insert(301, source.write_target(301))  # resurrect one
+
+    fresh = _build(name, pk_relation)
+    fresh.restore_state(source.snapshot_state())
+
+    assert fresh.height == source.height
+    assert fresh.n_leaves == source.n_leaves
+    assert fresh.size_pages == source.size_pages
+
+    keys = _probe_keys() + [55, 300, 301, 302]
+    stack_a, stack_b = build_stack(CONFIG), build_stack(CONFIG)
+    source.bind(stack_a)
+    ref = [source.search(k) for k in keys]
+    source.unbind()
+    fresh.bind(stack_b)
+    got = [fresh.search(k) for k in keys]
+    fresh.unbind()
+    assert got == ref
+    assert stack_b.stats.snapshot() == stack_a.stats.snapshot()
+
+    if caps.scannable:
+        windows = [(0, 100), (290, 310), (8000, 9000)]
+        assert (fresh.range_scan_many(windows)
+                == source.range_scan_many(windows))
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_restore_state_rejects_foreign_format(name, pk_relation):
+    index = _build(name, pk_relation)
+    with pytest.raises(ValueError, match="format|restore"):
+        index.restore_state({"format": "not-a-real-format"})

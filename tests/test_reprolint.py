@@ -190,6 +190,63 @@ class TestScalarLeak:
 
 
 # ======================================================================
+# format-discipline
+# ======================================================================
+class TestFormatDiscipline:
+    @pytest.mark.parametrize("snippet", [
+        "import pickle\ndef load(path):\n"
+        "    with open(path, 'rb') as f:\n"
+        "        return pickle.load(f)\n",
+        "import pickle\ndef load(blob):\n    return pickle.loads(blob)\n",
+        "from pickle import loads\ndef load(blob):\n    return loads(blob)\n",
+    ])
+    def test_pickle_deserialization_flagged(self, snippet):
+        vs = lint_source(snippet)
+        assert rules_of(vs) == ["format-discipline"]
+        assert "persist" in vs[0].message
+
+    @pytest.mark.parametrize("mode", ["wb", "ab", "xb", "rb+", "wb+", "bw"])
+    def test_binary_write_open_flagged(self, mode):
+        vs = lint_source(
+            f"def dump(path, blob):\n"
+            f"    with open(path, {mode!r}) as f:\n"
+            f"        f.write(blob)\n"
+        )
+        assert rules_of(vs) == ["format-discipline"]
+        assert "persist" in vs[0].message
+
+    def test_binary_write_mode_keyword_flagged(self):
+        vs = lint_source(
+            "def dump(path, blob):\n"
+            "    with open(path, mode='wb') as f:\n"
+            "        f.write(blob)\n"
+        )
+        assert rules_of(vs) == ["format-discipline"]
+
+    @pytest.mark.parametrize("snippet", [
+        "def read(path):\n    return open(path, 'rb').read()\n",
+        "def dump(path, text):\n"
+        "    with open(path, 'w') as f:\n"
+        "        f.write(text)\n",
+        "def read(path):\n    return open(path).read()\n",
+    ])
+    def test_reads_and_text_writes_clean(self, snippet):
+        assert lint_source(snippet) == []
+
+    def test_persist_package_is_exempt(self):
+        src = ("def dump(path, blob):\n"
+               "    with open(path, 'wb') as f:\n"
+               "        f.write(blob)\n")
+        assert lint_source(src, "src/repro/persist/wal.py") == []
+        assert lint_source(src, "src/repro/core/bf_tree.py") != []
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        src = "import pickle\ndef f(b):\n    return pickle.loads(b)\n"
+        assert lint_source(src, "tests/test_fixture.py") == []
+        assert lint_source(src, "benchmarks/bench_x.py") == []
+
+
+# ======================================================================
 # whole-repo gate + plumbing
 # ======================================================================
 def test_repository_is_lint_clean():
@@ -249,3 +306,10 @@ def test_protocol_surface_covers_sharding_and_size():
     assert "size_pages" in PROTOCOL_SURFACE
     assert "supports_sharding" in Index.__annotations__
     assert isinstance(Index.size_pages, property)
+
+
+def test_protocol_surface_covers_checkpoint_hooks():
+    assert "snapshot_state" in PROTOCOL_SURFACE
+    assert "restore_state" in PROTOCOL_SURFACE
+    vs = lint_source('def f(ix):\n    return hasattr(ix, "snapshot_state")\n')
+    assert rules_of(vs) == ["protocol-discipline"]

@@ -74,6 +74,7 @@ def _build_durable(relation: Any, column: str, *, unique: bool = False,
         column=column,
         unique=unique,
         fpp=fpp,
+        config=config,
     )
     weakref.finalize(index, shutil.rmtree, path, ignore_errors=True)
     return index

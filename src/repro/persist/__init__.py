@@ -21,7 +21,13 @@ binary-write mode or define on-disk formats — reprolint's
 format-discipline rule enforces that boundary.
 """
 
-from repro.persist.durable import SNAPSHOT_NAME, DurableIndex, recover
+from repro.persist.durable import (
+    DurableIndex,
+    decode_config,
+    encode_config,
+    recover,
+    snapshot_name,
+)
 from repro.persist.errors import (
     CorruptManifestError,
     CorruptSnapshotError,
@@ -55,7 +61,6 @@ __all__ = [
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
     "SERVICE_MANIFEST",
-    "SNAPSHOT_NAME",
     "CorruptManifestError",
     "CorruptSnapshotError",
     "DurableIndex",
@@ -63,6 +68,8 @@ __all__ = [
     "WriteAheadLog",
     "apply_record",
     "atomic_write_json",
+    "decode_config",
+    "encode_config",
     "file_crc32",
     "make_durable_service",
     "read_manifest",
@@ -70,6 +77,7 @@ __all__ = [
     "recover",
     "recover_service",
     "replay_wal",
+    "snapshot_name",
     "truncate_wal",
     "write_manifest",
     "write_snapshot",

@@ -1,9 +1,9 @@
 """Atomic checkpoint manifest: the commit point of a checkpoint.
 
 The manifest is a small JSON file recording the backend kind, build
-inputs (column, uniqueness, fpp, seed), capability descriptor, the
-snapshot file's size and CRC32, and the name of the WAL *generation*
-that starts after the checkpoint.  It is written atomically — temp
+inputs (column, uniqueness, fpp, config, seed), capability descriptor,
+the generation-named snapshot file's name, size and CRC32, and the name
+of the WAL *generation* that starts after the checkpoint.  It is written atomically — temp
 file, flush, fsync, ``os.replace``, directory fsync — so recovery
 always sees either the previous complete checkpoint or the new one,
 never a torn in-between.

@@ -70,6 +70,7 @@ def make_durable_service(
             column=key_column,
             unique=unique,
             fpp=None if fpp is None else float(fpp),
+            config=config,
         )
     atomic_write_json(root / SERVICE_MANIFEST, {
         "version": SERVICE_VERSION,

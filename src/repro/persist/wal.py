@@ -68,6 +68,22 @@ class WriteAheadLog:
         os.fsync(self._file.fileno())
         self._pending = 0
 
+    def rollback(self, offset: int) -> None:
+        """Durably cut the log back to ``offset``.
+
+        The compensating action for WAL-before-apply: when the inner op
+        raises after its record was framed (and possibly fsynced), the
+        caller rolls the log back so a crash-recovery replay cannot
+        resurrect an op its caller observed as failed.  The truncation
+        is itself fsynced; records before ``offset`` are acknowledged as
+        a side effect.
+        """
+        self._file.flush()
+        os.truncate(self._file.fileno(), offset)
+        os.fsync(self._file.fileno())
+        self._file.seek(offset)
+        self._pending = 0
+
     def close(self) -> None:
         if not self._file.closed:
             self.sync()

@@ -30,6 +30,12 @@ Rule classes (each id groups one class of project invariant):
     op must provide or inherit its ``*_many`` counterpart.
     P3 — every backend name passed to ``register()`` must appear in the
     conformance suite's ``EXPECTED_CAPS`` table (cross-file check).
+    P4 — service-layer code must not cache ``.shards`` (or a
+    ``.shards[...]`` element) in instance state: shard ordinals and
+    Shard objects are valid for one routing-table epoch only, and a
+    split/merge invalidates them.  Re-read ``service.shards`` /
+    ``route_*`` on every use; only ``sharded.py``/``routing.py`` (the
+    topology owners) are exempt.
 
 ``seed-discipline``
     S1 — ``np.random.default_rng()`` without an explicit seed.
@@ -165,6 +171,18 @@ def _in_protocol_scope(relpath: str) -> bool:
 def _in_scalar_scope(relpath: str) -> bool:
     """Scalar-leak applies everywhere except the helper's home module."""
     return _posix(relpath) != "src/repro/api/results.py"
+
+
+def _in_topology_scope(relpath: str) -> bool:
+    """P4 applies to the service layer, minus the topology owners.
+
+    ``sharded.py`` and ``routing.py`` define and mutate the topology;
+    everyone else must treat shard lists as epoch-scoped views.
+    """
+    p = _posix(relpath)
+    if not p.startswith("src/repro/service/"):
+        return False
+    return p.rsplit("/", 1)[-1] not in ("sharded.py", "routing.py")
 
 
 def _in_format_scope(relpath: str) -> bool:
@@ -340,6 +358,41 @@ def _check_calls(
             )
 
 
+def _check_shard_caching(tree: ast.Module, relpath: str) -> Iterator[Violation]:
+    """P4: storing ``.shards``/``.shards[...]`` into instance state.
+
+    A ``self.<attr> = ...shards...`` assignment outlives the statement
+    that routed it, and any routing-table epoch bump (split/merge)
+    leaves the cached Shard/ordinal pointing at retired topology.
+    """
+    if not _in_topology_scope(relpath):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            caches_self = any(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in targets
+            )
+            if not caches_self or node.value is None:
+                continue
+            if any(
+                isinstance(sub, ast.Attribute) and sub.attr == "shards"
+                for sub in ast.walk(node.value)
+            ):
+                yield Violation(
+                    "protocol-discipline", relpath, node.lineno,
+                    "caching .shards state in a self attribute; shard "
+                    "ordinals are valid for one routing-table epoch only "
+                    "— re-read service.shards on every use (P4)",
+                )
+
+
 def _class_defs(tree: ast.Module) -> dict[str, tuple[list[str], set[str]]]:
     """Map class name -> (base names, locally defined method names)."""
     out: dict[str, tuple[list[str], set[str]]] = {}
@@ -448,6 +501,7 @@ def lint_source(source: str, relpath: str = "src/<snippet>.py") -> list[Violatio
         ]
     aliases = _collect_aliases(tree)
     violations = list(_check_calls(tree, relpath, aliases))
+    violations.extend(_check_shard_caching(tree, relpath))
     if _in_protocol_scope(relpath):
         classes = _class_defs(tree)
         locations = {
@@ -490,6 +544,7 @@ def lint_files(paths: Iterable[Path], root: Path) -> list[Violation]:
             continue
         aliases = _collect_aliases(tree)
         violations.extend(_check_calls(tree, relpath, aliases))
+        violations.extend(_check_shard_caching(tree, relpath))
         if _in_protocol_scope(relpath):
             for name, (bases, methods) in _class_defs(tree).items():
                 all_classes[name] = (bases, methods)

@@ -292,42 +292,81 @@ def _check_tombstones(name: str, label: str, run: list, fd: Any) -> None:
 
 
 def check_sharded(svc: Any) -> None:
-    """Validate a :class:`~repro.service.sharded.ShardedIndex`."""
+    """Validate a :class:`~repro.service.sharded.ShardedIndex`.
+
+    Epoch-aware: the routing table is the source of truth, so the check
+    validates the *table* (entry order, fence cache, id uniqueness),
+    then the table↔shard agreement (each entry's shard exists, carries
+    the entry's id and lo_key), then each shard's leaf spans against its
+    table range — and recurses into every shard's index.  It passes at
+    every epoch of a live split/merge sequence; a stale entry left
+    behind by a topology change fails with a precise diagnostic.
+    """
     name = "ShardedIndex"
-    shards = svc.shards
-    if not shards:
-        _fail(name, "service has no shards")
-    if shards[0].lo_key is not None:
+    table = svc.table
+    entries = list(table.entries)
+    where = f"epoch {table.epoch}"
+    if not entries:
+        _fail(name, f"{where}: routing table has no entries")
+    if entries[0].lo_key is not None:
         _fail(name,
-              f"shard 0 lo_key is {shards[0].lo_key!r} (expected None: "
-              "the leftmost shard serves the open left end)")
-    boundaries = list(svc._boundaries)
-    lo_keys = [s.lo_key for s in shards[1:]]
-    if len(boundaries) != len(lo_keys) or any(
-        b != lo for b, lo in zip(boundaries, lo_keys)
+              f"{where}: leftmost entry lo_key is {entries[0].lo_key!r} "
+              "(expected None: it serves the open left end)")
+    fences = [e.lo_key for e in entries[1:]]
+    cached = list(table.boundaries)
+    if len(cached) != len(fences) or any(
+        b != lo for b, lo in zip(cached, fences)
     ):
         _fail(name,
-              f"routing boundaries {boundaries!r} disagree with shard "
-              f"lo_keys {lo_keys!r}")
-    if any(b <= a for a, b in zip(boundaries, boundaries[1:])):
+              f"{where}: cached fence array {cached!r} disagrees with "
+              f"routing entries {fences!r} (stale routing state)")
+    if any(b <= a for a, b in zip(fences, fences[1:])):
         _fail(name,
-              f"routing boundaries not strictly increasing: "
-              f"{boundaries!r}")
-    for s, shard in enumerate(shards):
+              f"{where}: routing fences not strictly increasing: "
+              f"{fences!r}")
+    ids = [e.shard_id for e in entries]
+    if len(set(ids)) != len(ids):
+        _fail(name, f"{where}: duplicate shard ids in routing table: "
+                    f"{ids!r}")
+    by_id = svc._by_id
+    if set(by_id) != set(ids):
+        _fail(name,
+              f"{where}: routing table ids {sorted(ids)} disagree with "
+              f"registered shards {sorted(by_id)}")
+    shards = svc.shards
+    if len(shards) != len(entries):
+        _fail(name,
+              f"{where}: {len(shards)} shards vs {len(entries)} routing "
+              "entries")
+    for o, (entry, shard) in enumerate(zip(entries, shards)):
+        sid = entry.shard_id
+        if shard.shard_id != sid:
+            _fail(name,
+                  f"{where}: entry {o} names shard id {sid} but the "
+                  f"shard at that ordinal is id {shard.shard_id}")
+        if shard.lo_key != entry.lo_key and not (
+            shard.lo_key is None and entry.lo_key is None
+        ):
+            _fail(name,
+                  f"{where}: routing entry {o} (shard {sid}) lo_key "
+                  f"{entry.lo_key!r} disagrees with the shard's lo_key "
+                  f"{shard.lo_key!r} (stale routing entry)")
         index = shard.index
         if index.supports_sharding and index.n_leaves:
-            lo = shard.lo_key
-            hi = boundaries[s] if s < len(boundaries) else None
+            lo = entry.lo_key
+            hi = table.boundary_of(o)
             for leaf in index.shard_leaves():
                 span_lo, span_hi = index.shard_leaf_span(leaf)
                 if lo is not None and span_lo is not None and span_lo < lo:
                     _fail(name,
-                          f"shard {s}: leaf span starts at {span_lo!r}, "
-                          f"below the shard's lo_key {lo!r}")
+                          f"{where}: shard {sid}: leaf span starts at "
+                          f"{span_lo!r}, below the shard's lo fence "
+                          f"{lo!r}")
                 # Rightmost-biased routing sends key == boundary to the
                 # next shard, so this shard's spans stay strictly below.
                 if hi is not None and span_hi is not None and span_hi >= hi:
                     _fail(name,
-                          f"shard {s}: leaf span ends at {span_hi!r}, at "
-                          f"or past the next shard's boundary {hi!r}")
+                          f"{where}: shard {sid}: leaf span ends at "
+                          f"{span_hi!r}, at or past the next range's "
+                          f"fence {hi!r}")
         check(index)

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro workloads
     python -m repro serve-bench --shards 1 2 4 8 --mix read_heavy --skew zipfian
     python -m repro serve-bench --durable --wal-dir /tmp/svc --shards 4
+    python -m repro serve-bench --rebalance --skew hotspot --shards 4
     python -m repro checkpoint  --index bf --dir /tmp/idx
     python -m repro recover     --dir /tmp/idx
 
@@ -290,6 +291,82 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench_rebalance(args, relation, column, trace, config,
+                           unique) -> int:
+    """Windowed elastic replay per shard count, rebalancer attached."""
+    import numpy as np
+
+    from repro.service import (
+        LatencySummary,
+        Rebalancer,
+        RebalancerConfig,
+        run_elastic_service,
+    )
+    from repro.workloads import OP_READ
+
+    rows = []
+    reports = []
+    for n_shards in args.shards:
+        try:
+            service = ShardedIndex.build(
+                relation, column, n_shards=n_shards, kind=args.index,
+                fpp=args.fpp[0], unique=unique,
+            )
+            rebalancer = Rebalancer(service, RebalancerConfig(
+                hot_factor=args.hot_factor,
+                cold_factor=args.cold_factor,
+                sustain=args.sustain,
+                cooldown=args.cooldown,
+            ))
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        report = run_elastic_service(
+            service, trace, config,
+            rebalancer=rebalancer,
+            window_ops=args.window_ops,
+            warm=args.warm,
+            batch=not args.no_batch,
+            write_batch=False if args.no_write_batch else None,
+            scan_batch=False if args.no_scan_batch else None,
+            threads=args.threads,
+        )
+        reports.append(report)
+        reads = LatencySummary.from_latencies(
+            report.op_latencies[np.asarray(report.op_codes) == OP_READ]
+        )
+        rows.append([
+            f"{report.initial_shards}->{report.final_shards}",
+            str(report.final_epoch),
+            f"{rebalancer.log.n_splits}/{rebalancer.log.n_merges}",
+            f"{us(reads.p50):.1f}",
+            f"{us(reads.p95):.1f}",
+            f"{us(reads.p99):.1f}",
+            f"{report.windows.mean_load_balance():.2f}",
+            f"{report.windows.worst_load_balance():.2f}",
+        ])
+    print(format_table(
+        ["shards", "epoch", "splits/merges", "read p50 (us)", "p95 (us)",
+         "p99 (us)", "mean load bal", "worst load bal"],
+        rows,
+        title=f"serve-bench --rebalance: {args.index} on "
+              f"{args.workload}.{column}, mix={args.mix}, "
+              f"skew={args.skew}, {args.ops} ops x "
+              f"{args.window_ops}-op windows, config={config}",
+    ))
+    for report in reports:
+        for decision in report.log:
+            print(f"  window {decision.window:>3}  epoch "
+                  f"{decision.epoch:>2}  {decision.action:<5} "
+                  f"{list(decision.source)} -> {list(decision.result)} "
+                  f"(share {decision.share:.2f})")
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump([r.to_dict() for r in reports], fh, indent=2)
+    return 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """Throughput and tail latency of the sharded service vs shard count."""
     relation, column = _build_relation(args)
@@ -297,12 +374,20 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.durable and args.index == "durable":
         raise SystemExit("--durable already wraps every shard; pick the "
                          "base backend with --index (e.g. --index bf)")
+    if args.rebalance and args.durable:
+        raise SystemExit("--rebalance drives live in-memory splits/merges; "
+                         "durable topology changes go through "
+                         "repro.persist.split_durable_shard instead")
     trace = generate_trace(
         relation, column, mix=args.mix, n_ops=args.ops, skew=args.skew,
         theta=args.theta, seed=derive_seed(args.seed, "trace"),
-        hit_rate=args.hit_rate,
+        hit_rate=args.hit_rate, phases=args.phases,
+        hotspot_width=args.hotspot_width,
     )
     config = args.config or "MEM/SSD"
+    if args.rebalance:
+        return _serve_bench_rebalance(args, relation, column, trace,
+                                      config, unique)
     rows = []
     reports = []
     for n_shards in args.shards:
@@ -496,10 +581,17 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=sorted(MIXES),
                          help="YCSB-style operation mix")
     p_serve.add_argument("--skew", default="zipfian",
-                         choices=["zipfian", "uniform"],
-                         help="key popularity distribution")
+                         choices=["zipfian", "uniform", "hotspot"],
+                         help="key popularity distribution (hotspot = a "
+                              "contiguous Zipfian hot region drifting "
+                              "across the key space in --phases steps)")
     p_serve.add_argument("--theta", type=float, default=0.99,
                          help="Zipfian skew parameter (0, 1)")
+    p_serve.add_argument("--phases", type=int, default=4,
+                         help="hotspot phases per trace (skew=hotspot)")
+    p_serve.add_argument("--hotspot-width", type=float, default=0.25,
+                         help="hot region width as a fraction of the key "
+                              "domain (skew=hotspot)")
     p_serve.add_argument("--ops", type=int, default=2000,
                          help="operations per trace")
     p_serve.add_argument("--hit-rate", type=float, default=1.0)
@@ -526,6 +618,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "batch scan engine; same simulated results)")
     p_serve.add_argument("--threads", type=int, default=None,
                          help="replay shards on a thread pool of this size")
+    p_serve.add_argument("--rebalance", action="store_true",
+                         help="attach the hot-shard Rebalancer: replay in "
+                              "--window-ops windows, splitting sustained "
+                              "hot shards and merging cold neighbours "
+                              "live; reports the decision log")
+    p_serve.add_argument("--window-ops", type=int, default=256,
+                         help="ops per load window when --rebalance")
+    p_serve.add_argument("--hot-factor", type=float, default=1.7,
+                         help="split when a shard's clock share exceeds "
+                              "hot-factor / n for --sustain windows")
+    p_serve.add_argument("--cold-factor", type=float, default=0.6,
+                         help="merge an adjacent pair whose combined "
+                              "share stays under cold-factor * 2 / n")
+    p_serve.add_argument("--sustain", type=int, default=1,
+                         help="consecutive windows before acting")
+    p_serve.add_argument("--cooldown", type=int, default=1,
+                         help="quiet windows after any topology action")
     p_serve.add_argument("--durable", action="store_true",
                          help="wrap every shard in a DurableIndex: "
                               "mutations are WAL-logged (fsync-batched) "

@@ -291,12 +291,13 @@ def run_service(
     dispatch in every simulated number.
     """
     service.bind(config, warm=warm)
+    router = Router(service, batch=batch, batch_size=batch_size,
+                    threads=threads, write_batch=write_batch,
+                    scan_batch=scan_batch)
     try:
-        router = Router(service, batch=batch, batch_size=batch_size,
-                        threads=threads, write_batch=write_batch,
-                        scan_batch=scan_batch)
         results, stats = router.replay(trace)
     finally:
+        router.close()
         service.unbind()
     return ServiceReport(
         n_ops=len(trace),

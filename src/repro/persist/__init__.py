@@ -42,8 +42,12 @@ from repro.persist.manifest import (
 )
 from repro.persist.service import (
     SERVICE_MANIFEST,
+    SERVICE_VERSION,
     make_durable_service,
+    merge_durable_shards,
     recover_service,
+    split_durable_shard,
+    write_service_manifest,
 )
 from repro.persist.snapshot import (
     file_crc32,
@@ -61,6 +65,7 @@ __all__ = [
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
     "SERVICE_MANIFEST",
+    "SERVICE_VERSION",
     "CorruptManifestError",
     "CorruptSnapshotError",
     "DurableIndex",
@@ -72,13 +77,16 @@ __all__ = [
     "encode_config",
     "file_crc32",
     "make_durable_service",
+    "merge_durable_shards",
     "read_manifest",
     "read_snapshot",
     "recover",
     "recover_service",
     "replay_wal",
     "snapshot_name",
+    "split_durable_shard",
     "truncate_wal",
     "write_manifest",
+    "write_service_manifest",
     "write_snapshot",
 ]

@@ -45,8 +45,17 @@ def write_manifest(path: str | Path, data: dict[str, Any]) -> None:
     atomic_write_json(path, {"version": MANIFEST_VERSION, **data})
 
 
-def read_manifest(path: str | Path) -> dict[str, Any]:
-    """Parse and validate a manifest; raise :class:`CorruptManifestError`."""
+def read_manifest(
+    path: str | Path,
+    *,
+    versions: tuple[int, ...] = (MANIFEST_VERSION,),
+) -> dict[str, Any]:
+    """Parse and validate a manifest; raise :class:`CorruptManifestError`.
+
+    ``versions`` is the set of format versions the caller can decode —
+    shard manifests are at version 1, service manifests accept both the
+    legacy ordinal-keyed layout (1) and the stable-id layout (2).
+    """
     p = Path(path)
     try:
         raw = p.read_text(encoding="utf-8")
@@ -62,10 +71,11 @@ def read_manifest(path: str | Path) -> dict[str, Any]:
         raise CorruptManifestError(
             f"manifest {p.name} is {type(data).__name__}, not an object"
         )
-    if data.get("version") != MANIFEST_VERSION:
+    if data.get("version") not in versions:
+        expected = "/".join(str(v) for v in versions)
         raise CorruptManifestError(
             f"manifest {p.name} has version {data.get('version')!r}, "
-            f"expected {MANIFEST_VERSION}"
+            f"expected {expected}"
         )
     return data
 

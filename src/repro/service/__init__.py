@@ -2,11 +2,18 @@
 
 The production-facing subsystem: a :class:`ShardedIndex` range-partitions
 one indexed column across N independent shards (each with its own
-device/clock/buffer-pool stack), a :class:`Router` splits mixed
-read/insert/scan batches per shard and dispatches them through the
-vectorized batch-probe *and* batch-write engines (optionally on a
-thread pool), and :class:`ServiceStats` merges per-shard IOStats and
-folds per-op simulated latencies into p50/p95/p99 summaries.
+device/clock/buffer-pool stack) under an epoch-versioned
+:class:`RoutingTable`, a :class:`Router` splits mixed read/insert/scan
+batches per shard and dispatches them through the vectorized batch-probe
+*and* batch-write engines (optionally on a thread pool), and
+:class:`ServiceStats` merges per-shard IOStats and folds per-op
+simulated latencies into p50/p95/p99 summaries.
+
+The topology is *dynamic*: ``split_shard``/``merge_shards`` reshape the
+partition layout live (stable shard ids, epoch bumps, Router drain hooks
+preserving read-your-writes), and the :class:`Rebalancer` control loop
+drives them from windowed per-shard load with hysteresis — see
+:mod:`repro.service.routing` and :mod:`repro.service.rebalance`.
 
 Everything here speaks the unified Index protocol (:mod:`repro.api`):
 any registered backend serves — leaf-sliceable trees (BF, B+) are
@@ -14,14 +21,40 @@ range-partitioned, the rest run as a single-shard degenerate case —
 with no backend-specific branches in the service code.
 """
 
+from repro.service.rebalance import (
+    ElasticReport,
+    RebalanceDecision,
+    RebalanceLog,
+    Rebalancer,
+    RebalancerConfig,
+    run_elastic_service,
+)
 from repro.service.router import Router
+from repro.service.routing import RouteEntry, RoutingTable
 from repro.service.sharded import Shard, ShardedIndex
-from repro.service.stats import LatencySummary, ServiceStats
+from repro.service.stats import (
+    LatencySummary,
+    LoadWindow,
+    ServiceStats,
+    WindowedLoad,
+    queued_response_times,
+)
 
 __all__ = [
+    "ElasticReport",
+    "LatencySummary",
+    "LoadWindow",
+    "RebalanceDecision",
+    "RebalanceLog",
+    "Rebalancer",
+    "RebalancerConfig",
+    "RouteEntry",
     "Router",
+    "RoutingTable",
+    "ServiceStats",
     "Shard",
     "ShardedIndex",
-    "LatencySummary",
-    "ServiceStats",
+    "WindowedLoad",
+    "queued_response_times",
+    "run_elastic_service",
 ]

@@ -24,26 +24,44 @@ per-shard work lists and replays them:
   its latency is the *sum* of its legs' simulated time, and its result
   merges the legs' counts.
 
+**Topology discipline.**  Routing goes through the service's
+:class:`~repro.service.routing.RoutingTable`; plan-time shard ordinals
+are resolved to *stable shard ids* before any work is buffered, and
+every flush re-resolves its shard id through the table at dispatch time
+(reprolint rule P4 forbids retaining ``shards[i]`` objects here).  The
+Router registers a **drain hook** with the service for its lifetime:
+when a shard's range is about to migrate (``split_shard`` /
+``merge_shards``), any buffered sub-ops for that shard are flushed to
+the *old* shard before the epoch flips — read-your-writes holds across
+live topology changes.  Should a buffered shard id nonetheless vanish
+(retired mid-replay), the flush falls back to service-level batch calls,
+which re-route each op by key under the new epoch.
+
 Per-shard operation order always follows trace order, so a read issued
 after an insert to the same shard observes it.  Because every shard owns
 a private tree, stack and clock, shards share no mutable state — the
 optional thread pool (``threads=N``) replays shards concurrently for
 real wall-clock overlap (NumPy filter passes release the GIL; the pure
 -Python portions interleave), with results scattered back into trace
-order afterwards.
+order afterwards.  Live topology changes are a control-plane action:
+trigger them between replay calls (as the elastic control loop does) or
+from the replaying thread via a drain hook — not concurrently from
+another thread.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
-from repro.api.results import RangeScanResult, SearchResult
+from repro.api.results import RangeScanResult
 from repro.service.sharded import ShardedIndex
 from repro.service.stats import ServiceStats
+from repro.storage.iostats import IOStats
 from repro.workloads.mixed import OP_INSERT, OP_READ, OP_SCAN, MixedTrace
 
 
@@ -53,10 +71,25 @@ class _SubOp:
 
     op_index: int
     code: int
-    key: object
+    key: Any
     tid: int = -1
-    sub_lo: object = None
-    sub_hi: object = None
+    sub_lo: Any = None
+    sub_hi: Any = None
+
+
+@dataclass
+class _ShardSession:
+    """Replay state for one shard, keyed by its stable id.
+
+    Holding the *id* (not the Shard object) is what lets the drain hook
+    and the flush paths resolve the current owner through the routing
+    table at dispatch time.
+    """
+
+    sid: int
+    out: list[tuple[int, int, float, Any]] = field(default_factory=list)
+    read_buffer: list[_SubOp] = field(default_factory=list)
+    write_buffer: list[_SubOp] = field(default_factory=list)
 
 
 class Router:
@@ -85,19 +118,30 @@ class Router:
         self.threads = threads
         self.write_batch = batch if write_batch is None else write_batch
         self.scan_batch = batch if scan_batch is None else scan_batch
+        #: Live replay sessions by stable shard id (drain-hook target).
+        self._sessions: dict[int, _ShardSession] = {}
+        service.register_drain_hook(self._drain)
+
+    def close(self) -> None:
+        """Unregister the drain hook (call when done with this Router)."""
+        self.service.unregister_drain_hook(self._drain)
 
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
     def plan(self, trace: MixedTrace) -> list[list[_SubOp]]:
-        """Split the trace into per-shard sub-op lists (trace order kept)."""
+        """Split the trace into per-shard sub-op lists (trace order kept).
+
+        List positions are the *current epoch's* shard ordinals; replay
+        resolves them to stable ids immediately, before any dispatch.
+        """
         per_shard: list[list[_SubOp]] = [[] for _ in self.service.shards]
         assign = self.service.route(trace.keys)
         # Scan legs are planned for the whole trace in one vectorized
         # pass (both window endpoints routed batch-wise), then spliced
         # back at each scan's trace position.
         scan_idx = np.nonzero(trace.ops == OP_SCAN)[0]
-        scan_legs: dict[int, list] = {}
+        scan_legs: dict[int, list[tuple[int, Any, Any]]] = {}
         if len(scan_idx):
             windows = [
                 (trace.keys[i].item(),
@@ -127,40 +171,44 @@ class Router:
     # replay
     # ------------------------------------------------------------------
     def replay(self, trace: MixedTrace
-               ) -> tuple[list[object], ServiceStats]:
+               ) -> tuple[list[Any], ServiceStats]:
         """Replay ``trace`` against the bound service.
 
         Returns (per-op results aligned with the trace, ServiceStats).
         Reads yield :class:`SearchResult`, scans a merged
         :class:`RangeScanResult`, inserts ``None``.
         """
-        if any(not shard.bound for shard in self.service.shards):
+        service = self.service
+        if any(not shard.bound for shard in service.shards):
             raise RuntimeError("service is not bound; call bind() first")
         per_shard = self.plan(trace)
-        io_before = [
-            shard.stack.stats.snapshot() for shard in self.service.shards
-        ]
-        clock_before = [
-            shard.stack.clock.now() for shard in self.service.shards
-        ]
+        # Resolve this epoch's ordinals to stable ids before dispatch;
+        # snapshot per-shard counters by id so the books stay right even
+        # if the topology changes under us mid-replay.
+        table = service.table
+        sids = [table.id_at(s) for s in range(len(per_shard))]
+        before: dict[int, tuple[IOStats, float]] = {}
+        for shard in service.shards:
+            assert shard.stack is not None
+            before[shard.shard_id] = (
+                shard.stack.stats.snapshot(), shard.stack.clock.now()
+            )
+        retired_io0 = service.retired_io.snapshot()
+        retired_clock0 = service.retired_clock
         t0 = time.perf_counter()
-        if self.threads is not None and self.service.n_shards > 1:
+        if self.threads is not None and len(sids) > 1:
             with ThreadPoolExecutor(max_workers=self.threads) as pool:
                 outcomes = list(
-                    pool.map(
-                        self._replay_shard,
-                        range(self.service.n_shards),
-                        per_shard,
-                    )
+                    pool.map(self._replay_shard, sids, per_shard)
                 )
         else:
             outcomes = [
-                self._replay_shard(s, subops)
-                for s, subops in enumerate(per_shard)
+                self._replay_shard(sid, subops)
+                for sid, subops in zip(sids, per_shard)
             ]
         wall_secs = time.perf_counter() - t0
 
-        results: list[object] = [None] * len(trace)
+        results: list[Any] = [None] * len(trace)
         latencies = np.zeros(len(trace), dtype=np.float64)
         for shard_outcome in outcomes:
             for op_index, code, latency, result in shard_outcome:
@@ -177,125 +225,207 @@ class Router:
                     merged.leaves_visited += result.leaves_visited
                 else:
                     results[op_index] = result
+
+        per_shard_io: list[IOStats] = []
+        per_shard_clock: list[float] = []
+        shard_ids: list[int] = []
+        live_ids = set()
+        for shard in service.shards:
+            assert shard.stack is not None
+            io0, c0 = before.get(shard.shard_id, (IOStats(), 0.0))
+            per_shard_io.append(shard.stack.stats.diff(io0))
+            per_shard_clock.append(shard.stack.clock.now() - c0)
+            shard_ids.append(shard.shard_id)
+            live_ids.add(shard.shard_id)
+        # Work retired mid-replay (a shard split/merged away while its
+        # buffers were live): the service accumulators grew by those
+        # shards' *lifetime* counters; subtract their replay-start
+        # snapshots to keep only this replay's share.
+        retired_io = service.retired_io.diff(retired_io0)
+        retired_clock = service.retired_clock - retired_clock0
+        for sid, (io0, c0) in before.items():
+            if sid not in live_ids:
+                retired_io = retired_io.diff(io0)
+                retired_clock -= c0
         stats = ServiceStats(
-            per_shard_io=[
-                shard.stack.stats.diff(before)
-                for shard, before in zip(self.service.shards, io_before)
-            ],
-            per_shard_clock=[
-                shard.stack.clock.now() - before
-                for shard, before in zip(self.service.shards, clock_before)
-            ],
+            per_shard_io=per_shard_io,
+            per_shard_clock=per_shard_clock,
             op_codes=trace.ops,
             op_latencies=latencies,
             wall_secs=wall_secs,
+            shard_ids=shard_ids,
+            retired_io=retired_io,
+            retired_clock=retired_clock,
+            epoch=service.topology_epoch,
         )
         return results, stats
 
     # ------------------------------------------------------------------
+    # per-shard dispatch (buffers keyed by stable shard id)
+    # ------------------------------------------------------------------
     def _replay_shard(
-        self, s: int, subops: list[_SubOp]
-    ) -> list[tuple[int, int, float, object]]:
+        self, sid: int, subops: list[_SubOp]
+    ) -> list[tuple[int, int, float, Any]]:
         """Run one shard's sub-ops in order; return (op_index, code,
         latency, result) records (thread-confined, merged by replay)."""
-        shard = self.service.shards[s]
-        index = shard.index
-        clock = shard.stack.clock
-        out: list[tuple[int, int, float, object]] = []
-        read_buffer: list[_SubOp] = []
-        write_buffer: list[_SubOp] = []
+        session = _ShardSession(sid=sid)
+        self._sessions[sid] = session
+        try:
+            # At most one buffer is ever non-empty: an op of the other
+            # phase flushes it first, which keeps per-shard trace order
+            # (a read or scan issued after an insert observes it, and
+            # vice versa).  Reads and scans share the read phase — only
+            # writes fence it.
+            for op in subops:
+                if op.code == OP_READ:
+                    self._flush_writes(session)
+                    session.read_buffer.append(op)
+                elif op.code == OP_INSERT:
+                    self._flush_reads(session)
+                    session.write_buffer.append(op)
+                elif op.code == OP_SCAN and self.scan_batch:
+                    self._flush_writes(session)
+                    session.read_buffer.append(op)
+                elif op.code == OP_SCAN:
+                    self._flush_reads(session)
+                    self._flush_writes(session)
+                    self._scalar_scan(session, op)
+                else:
+                    # Fail loudly: a new op code buffered as if it were
+                    # a scan would be silently dropped by _flush_reads.
+                    raise ValueError(f"unknown op code {op.code}")
+            self._flush_reads(session)
+            self._flush_writes(session)
+        finally:
+            self._sessions.pop(sid, None)
+        return session.out
 
-        def flush_reads() -> None:
-            # The read-phase buffer holds point reads and (with scan
-            # batching) scan legs: both are read-only, so each chunk can
-            # dispatch its reads and its scans as two sub-batches —
-            # every charge on the read path declares its access pattern
-            # explicitly, so the relative order cannot change any
-            # simulated number.
-            if not read_buffer:
-                return
-            for start in range(0, len(read_buffer), self.batch_size):
-                chunk = read_buffer[start : start + self.batch_size]
-                reads = [op for op in chunk if op.code == OP_READ]
-                scans = [op for op in chunk if op.code == OP_SCAN]
-                if reads and self.batch:
-                    sink: list[float] = []
-                    chunk_results = index.search_many(
+    def _drain(self, sid: int) -> None:
+        """Service drain hook: a topology change is about to retire
+        shard ``sid`` — flush everything buffered for it to the old
+        shard while the old routing epoch is still current."""
+        session = self._sessions.get(sid)
+        if session is None:
+            return
+        self._flush_reads(session)
+        self._flush_writes(session)
+
+    # ------------------------------------------------------------------
+    def _flush_reads(self, session: _ShardSession) -> None:
+        # The read-phase buffer holds point reads and (with scan
+        # batching) scan legs: both are read-only, so each chunk can
+        # dispatch its reads and its scans as two sub-batches — every
+        # charge on the read path declares its access pattern
+        # explicitly, so the relative order cannot change any simulated
+        # number.
+        buffer = session.read_buffer
+        if not buffer:
+            return
+        service = self.service
+        shard = service.shard_by_id(session.sid)
+        out = session.out
+        for start in range(0, len(buffer), self.batch_size):
+            chunk = buffer[start : start + self.batch_size]
+            reads = [op for op in chunk if op.code == OP_READ]
+            scans = [op for op in chunk if op.code == OP_SCAN]
+            if reads and (shard is None or self.batch):
+                sink: list[float] = []
+                if shard is None:
+                    # Shard retired mid-replay: re-route by key under
+                    # the current epoch.
+                    chunk_results: list[Any] = list(service.search_many(
                         [op.key for op in reads], latency_sink=sink
+                    ))
+                else:
+                    chunk_results = list(shard.index.search_many(
+                        [op.key for op in reads], latency_sink=sink
+                    ))
+                for op, latency, result in zip(reads, sink, chunk_results):
+                    out.append((op.op_index, op.code, latency, result))
+            elif reads:
+                assert shard is not None and shard.stack is not None
+                clock = shard.stack.clock
+                for op in reads:
+                    begin = clock.now()
+                    result = shard.index.search(op.key)
+                    out.append(
+                        (op.op_index, op.code, clock.now() - begin, result)
                     )
-                    for op, latency, result in zip(reads, sink,
-                                                   chunk_results):
-                        out.append((op.op_index, op.code, latency, result))
-                elif reads:
-                    for op in reads:
-                        begin = clock.now()
-                        result = index.search(op.key)
-                        out.append(
-                            (op.op_index, op.code, clock.now() - begin,
-                             result)
-                        )
-                if scans:
-                    scan_sink: list[float] = []
-                    scan_results = index.range_scan_many(
+            if scans:
+                scan_sink: list[float] = []
+                if shard is None:
+                    # Re-plan each leg's sub-window across the new
+                    # topology; the legs still partition the original
+                    # scan window, so merged counts stay exact.
+                    scan_results = service.range_scan_many(
                         [(op.sub_lo, op.sub_hi) for op in scans],
                         latency_sink=scan_sink,
                     )
-                    for op, latency, result in zip(scans, scan_sink,
-                                                   scan_results):
-                        out.append((op.op_index, op.code, latency, result))
-            read_buffer.clear()
-
-        def flush_writes() -> None:
-            if not write_buffer:
-                return
-            for start in range(0, len(write_buffer), self.batch_size):
-                chunk = write_buffer[start : start + self.batch_size]
-                if self.write_batch:
-                    sink: list[float] = []
-                    self.service.insert_many_on(
-                        shard,
-                        [op.key for op in chunk],
-                        [op.tid for op in chunk],
-                        latency_sink=sink,
-                    )
-                    for op, latency in zip(chunk, sink):
-                        out.append((op.op_index, op.code, latency, None))
                 else:
-                    for op in chunk:
-                        begin = clock.now()
-                        self.service.insert_on(shard, op.key, op.tid)
-                        out.append(
-                            (op.op_index, op.code, clock.now() - begin,
-                             None)
-                        )
-            write_buffer.clear()
+                    scan_results = shard.index.range_scan_many(
+                        [(op.sub_lo, op.sub_hi) for op in scans],
+                        latency_sink=scan_sink,
+                    )
+                for op, latency, result in zip(scans, scan_sink,
+                                               scan_results):
+                    out.append((op.op_index, op.code, latency, result))
+        buffer.clear()
 
-        # At most one buffer is ever non-empty: an op of the other phase
-        # flushes it first, which keeps per-shard trace order (a read or
-        # scan issued after an insert observes it, and vice versa).
-        # Reads and scans share the read phase — only writes fence it.
-        for op in subops:
-            if op.code == OP_READ:
-                flush_writes()
-                read_buffer.append(op)
-            elif op.code == OP_INSERT:
-                flush_reads()
-                write_buffer.append(op)
-            elif op.code == OP_SCAN and self.scan_batch:
-                flush_writes()
-                read_buffer.append(op)
-            elif op.code == OP_SCAN:
-                flush_reads()
-                flush_writes()
-                begin = clock.now()
-                result = index.range_scan(op.sub_lo, op.sub_hi)
-                out.append(
-                    (op.op_index, op.code, clock.now() - begin, result)
+    def _flush_writes(self, session: _ShardSession) -> None:
+        buffer = session.write_buffer
+        if not buffer:
+            return
+        service = self.service
+        shard = service.shard_by_id(session.sid)
+        out = session.out
+        for start in range(0, len(buffer), self.batch_size):
+            chunk = buffer[start : start + self.batch_size]
+            if shard is None:
+                # Shard retired mid-replay: re-route by key under the
+                # current epoch.
+                sink: list[float] = []
+                service.insert_many(
+                    [op.key for op in chunk],
+                    [op.tid for op in chunk],
+                    latency_sink=sink,
                 )
+                for op, latency in zip(chunk, sink):
+                    out.append((op.op_index, op.code, latency, None))
+            elif self.write_batch:
+                sink = []
+                service.insert_many_on(
+                    shard,
+                    [op.key for op in chunk],
+                    [op.tid for op in chunk],
+                    latency_sink=sink,
+                )
+                for op, latency in zip(chunk, sink):
+                    out.append((op.op_index, op.code, latency, None))
             else:
-                # Fail loudly: a new op code buffered as if it were a
-                # scan would be silently dropped by flush_reads.
-                raise ValueError(f"unknown op code {op.code}")
-        flush_reads()
-        flush_writes()
-        return out
+                assert shard.stack is not None
+                clock = shard.stack.clock
+                for op in chunk:
+                    begin = clock.now()
+                    service.insert_on(shard, op.key, op.tid)
+                    out.append(
+                        (op.op_index, op.code, clock.now() - begin, None)
+                    )
+        buffer.clear()
+
+    def _scalar_scan(self, session: _ShardSession, op: _SubOp) -> None:
+        service = self.service
+        shard = service.shard_by_id(session.sid)
+        if shard is None:
+            sink: list[float] = []
+            result = service.range_scan_many(
+                [(op.sub_lo, op.sub_hi)], latency_sink=sink
+            )[0]
+            session.out.append((op.op_index, op.code, sink[0], result))
+            return
+        assert shard.stack is not None
+        clock = shard.stack.clock
+        begin = clock.now()
+        result = shard.index.range_scan(op.sub_lo, op.sub_hi)
+        session.out.append(
+            (op.op_index, op.code, clock.now() - begin, result)
+        )

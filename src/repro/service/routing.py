@@ -1,0 +1,256 @@
+"""First-class routing table: an epoch-versioned key-range -> shard-id map.
+
+Before this module existed the partition layout lived implicitly in the
+order of ``ShardedIndex.shards`` and a ``lo_key`` boundary array baked in
+at construction.  A dynamic topology (live split/merge, rebalancing)
+needs routing to be a *mutable, versioned* object that every layer
+consults instead of caching:
+
+* each :class:`RouteEntry` maps the key range ``[lo_key, next.lo_key)``
+  to a **stable shard id** — ids name shards for their whole lifetime
+  (split and merge always mint fresh ids for the children, so a live id
+  implies an unchanged key range);
+* the table's **epoch** increments on every topology change.  Positional
+  shard ordinals (what :meth:`route` returns, and what indexes the
+  service's ordered shard list) are only meaningful within one epoch —
+  no layer may retain them across an epoch bump (reprolint's
+  protocol-discipline rule P4 enforces this statically for the service
+  layer);
+* routing stays rightmost-biased (``searchsorted(..., side="right")``)
+  exactly as the static layout was: entry ``o >= 1`` serves keys
+  ``>=`` its ``lo_key``, and the leftmost entry serves the open left
+  end (``lo_key is None``).
+
+The sanitizer (:func:`repro.analysis.sanitize.check_sharded`) validates
+the table against the shards' actual leaf spans at every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One routing fence: keys in ``[lo_key, next lo_key)`` -> ``shard_id``.
+
+    ``lo_key is None`` marks the open left end (leftmost entry only).
+    """
+
+    lo_key: Any
+    shard_id: int
+
+
+class RoutingTable:
+    """Ordered, epoch-versioned map from key ranges to stable shard ids."""
+
+    def __init__(
+        self,
+        entries: Sequence[RouteEntry | tuple[Any, int]],
+        *,
+        epoch: int = 0,
+    ) -> None:
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        self._entries: list[RouteEntry] = [
+            e if isinstance(e, RouteEntry)
+            else RouteEntry(lo_key=e[0], shard_id=int(e[1]))
+            for e in entries
+        ]
+        self._epoch = int(epoch)
+        self._rebuild()
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Recompute the searchsorted fence array from the entries."""
+        self._boundaries = np.asarray([e.lo_key for e in self._entries[1:]])
+
+    def _validate(self) -> None:
+        if not self._entries:
+            raise ValueError("routing table needs at least one entry")
+        if self._entries[0].lo_key is not None:
+            raise ValueError(
+                f"leftmost entry must have lo_key None (open left end), "
+                f"got {self._entries[0].lo_key!r}"
+            )
+        fences = [e.lo_key for e in self._entries[1:]]
+        if any(lo is None for lo in fences):
+            raise ValueError("only the leftmost entry may have lo_key None")
+        if any(b <= a for a, b in zip(fences, fences[1:])):
+            raise ValueError(
+                f"routing fences must be strictly increasing: {fences!r}"
+            )
+        ids = [e.shard_id for e in self._entries]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids in routing table: {ids!r}")
+        if any(i < 0 for i in ids):
+            raise ValueError(f"shard ids must be >= 0: {ids!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Topology version; bumped by every :meth:`split`/:meth:`merge`."""
+        return self._epoch
+
+    @property
+    def entries(self) -> tuple[RouteEntry, ...]:
+        return tuple(self._entries)
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Routing fences (entry ``o >= 1`` serves keys >= fence ``o-1``)."""
+        return self._boundaries
+
+    @property
+    def shard_ids(self) -> list[int]:
+        """Stable shard ids in key-range order (this epoch's ordinals)."""
+        return [e.shard_id for e in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(self._entries)
+
+    def __contains__(self, shard_id: object) -> bool:
+        return any(e.shard_id == shard_id for e in self._entries)
+
+    def id_at(self, ordinal: int) -> int:
+        """Stable shard id of the entry at ``ordinal`` (this epoch)."""
+        return self._entries[ordinal].shard_id
+
+    def ordinal_of(self, shard_id: int) -> int:
+        """Position of ``shard_id`` in key-range order (this epoch only —
+        never cache the result across an epoch bump)."""
+        for o, entry in enumerate(self._entries):
+            if entry.shard_id == shard_id:
+                return o
+        raise KeyError(f"shard id {shard_id} is not in the routing table")
+
+    def lo_of(self, ordinal: int) -> Any:
+        """Inclusive lower fence of the entry (None = open left end)."""
+        return self._entries[ordinal].lo_key
+
+    def boundary_of(self, ordinal: int) -> Any:
+        """Exclusive upper fence: the next entry's ``lo_key`` (None for
+        the rightmost entry, which serves the open right end)."""
+        if ordinal + 1 < len(self._entries):
+            return self._entries[ordinal + 1].lo_key
+        return None
+
+    def span_of(self, shard_id: int) -> tuple[Any, Any]:
+        """``(lo, hi)`` key range served by ``shard_id`` (hi exclusive;
+        None on either side marks an open end)."""
+        o = self.ordinal_of(shard_id)
+        return self.lo_of(o), self.boundary_of(o)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, keys: Sequence[Any]) -> np.ndarray:
+        """Entry ordinal for each key (vectorized, rightmost-biased).
+
+        Ordinals index this epoch's key-range order; resolve them to
+        stable ids (:meth:`id_at` / :meth:`route_ids`) before holding on
+        to the assignment.
+        """
+        if len(self._entries) == 1:
+            return np.zeros(len(keys), dtype=np.int64)
+        return np.searchsorted(self._boundaries, np.asarray(keys),
+                               side="right")
+
+    def route_ids(self, keys: Sequence[Any]) -> np.ndarray:
+        """Stable shard id for each key (epoch-safe to retain)."""
+        ids = np.asarray([e.shard_id for e in self._entries], dtype=np.int64)
+        result: np.ndarray = ids[self.route(keys)]
+        return result
+
+    def route_key(self, key: Any) -> int:
+        """Entry ordinal owning one key (this epoch)."""
+        return int(self.route(np.asarray([key]))[0])
+
+    # ------------------------------------------------------------------
+    # topology mutation
+    # ------------------------------------------------------------------
+    def split(self, shard_id: int, boundary: Any,
+              left_id: int, right_id: int) -> int:
+        """Replace ``shard_id``'s range with two child ranges cut at
+        ``boundary`` (left keeps the original lo, right starts at the
+        boundary).  Bumps and returns the epoch."""
+        o = self.ordinal_of(shard_id)
+        old = self._entries[o]
+        if boundary is None:
+            raise ValueError("split boundary may not be None")
+        if old.lo_key is not None and boundary <= old.lo_key:
+            raise ValueError(
+                f"split boundary {boundary!r} not above the range's "
+                f"lo_key {old.lo_key!r}"
+            )
+        hi = self.boundary_of(o)
+        if hi is not None and boundary >= hi:
+            raise ValueError(
+                f"split boundary {boundary!r} not below the range's "
+                f"upper fence {hi!r}"
+            )
+        fresh = {left_id, right_id}
+        if len(fresh) != 2:
+            raise ValueError("left and right child ids must differ")
+        live = set(self.shard_ids) - {shard_id}
+        if fresh & live:
+            raise ValueError(
+                f"child ids {sorted(fresh & live)} already routed"
+            )
+        self._entries[o : o + 1] = [
+            RouteEntry(lo_key=old.lo_key, shard_id=left_id),
+            RouteEntry(lo_key=boundary, shard_id=right_id),
+        ]
+        self._rebuild()
+        self._epoch += 1
+        self._validate()
+        return self._epoch
+
+    def merge(self, left_id: int, right_id: int, merged_id: int) -> int:
+        """Replace two *adjacent* ranges with one under a fresh id.
+        Bumps and returns the epoch."""
+        oa = self.ordinal_of(left_id)
+        ob = self.ordinal_of(right_id)
+        if ob != oa + 1:
+            raise ValueError(
+                f"shards {left_id} and {right_id} are not adjacent in "
+                f"key-range order (ordinals {oa}, {ob})"
+            )
+        live = set(self.shard_ids) - {left_id, right_id}
+        if merged_id in live:
+            raise ValueError(f"merged id {merged_id} already routed")
+        lo = self._entries[oa].lo_key
+        self._entries[oa : ob + 1] = [
+            RouteEntry(lo_key=lo, shard_id=merged_id)
+        ]
+        self._rebuild()
+        self._epoch += 1
+        self._validate()
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "epoch": self._epoch,
+            "entries": [
+                {"lo_key": e.lo_key, "shard_id": e.shard_id}
+                for e in self._entries
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RoutingTable(epoch={self._epoch}, "
+            f"entries={len(self._entries)})"
+        )

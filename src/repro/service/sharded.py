@@ -18,6 +18,17 @@ Write addressing goes through ``index.write_target(tid)`` — the
 protocol hook that maps a tuple id to the backend's native target
 (page id for BF-Trees, rid for everything else).
 
+**Topology is dynamic.**  The partition layout lives in a first-class
+:class:`~repro.service.routing.RoutingTable`: an epoch-versioned ordered
+map from key ranges to *stable shard ids*.  :meth:`split_shard` and
+:meth:`merge_shards` change the layout live — children are rebuilt from
+the parent's leaf run via the same ``shard_from_leaves`` hook the static
+builder uses, registered drain hooks flush any Router-buffered writes
+for the migrating range to the old shard first, and only then does the
+table's epoch flip.  Positional shard ordinals are meaningful within a
+single epoch only; resolve shards by stable id (:meth:`shard_by_id`)
+when holding state across operations.
+
 **Construction is equivalence-preserving.**  ``build`` bulk-loads one
 donor index over the whole relation, then slices its leaf chain into
 contiguous runs and rebuilds an independent directory over each run
@@ -37,6 +48,12 @@ unsharded index's counters exactly.  Two conditions guard this:
   scale where the donor's leaf count fits one root) and descents charge
   the same index reads.  ``uniform_height`` records whether this held.
 
+Live splits and merges preserve the same story: children inherit the
+parent's leaf objects unchanged, and the retired parent stack's already
+-charged IOStats/clock are absorbed into the service-level ``retired_io``
+/``retired_clock`` accumulators, so :meth:`merged_io` still sums to the
+totals a static topology would have charged for the same past work.
+
 Range scans are routed to every overlapping shard; a cross-shard scan
 pays one extra directory descent per additional shard — the real cost a
 scatter-gather scan pays in a sharded system — while its match count
@@ -46,6 +63,7 @@ remains exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -58,6 +76,7 @@ from repro.api.results import (
     as_scalar,
     normalize_scan_windows,
 )
+from repro.service.routing import RoutingTable
 from repro.storage.config import StorageConfig, StorageStack, build_stack
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
@@ -65,14 +84,21 @@ from repro.storage.relation import Relation
 
 @dataclass
 class Shard:
-    """One partition: an index over a contiguous key slice + its stack."""
+    """One partition: an index over a contiguous key slice + its stack.
+
+    ``shard_id`` is the shard's *stable* name in the routing table — it
+    never changes for the shard's lifetime (splits and merges mint fresh
+    ids for their children).  ``-1`` asks :class:`ShardedIndex` to
+    assign the next free id at construction.
+    """
 
     index: Index
-    lo_key: object          # smallest routable key (None = open left end)
-    hi_key: object          # largest key at build time (introspection only;
-                            # scans clamp to the routing boundary, which
-                            # also covers keys inserted past hi_key)
+    lo_key: Any             # smallest routable key (None = open left end)
+    hi_key: Any             # largest key at creation time (introspection
+                            # only; scans clamp to the routing boundary,
+                            # which also covers keys inserted past hi_key)
     stack: StorageStack | None = None
+    shard_id: int = -1
 
     @property
     def bound(self) -> bool:
@@ -93,16 +119,41 @@ class ShardedIndex:
         kind: str,
         unique: bool,
         donor_height: int,
+        *,
+        epoch: int = 0,
     ) -> None:
         self.relation = relation
         self.key_column = key_column
-        self.shards = shards
         self.kind = kind
         self.unique = unique
         self.donor_height = donor_height
-        # Routing fences: shard s (s >= 1) serves keys >= its lo_key,
-        # mirroring the donor directory's rightmost-biased descent.
-        self._boundaries = np.asarray([s.lo_key for s in shards[1:]])
+        next_id = 1 + max(
+            (s.shard_id for s in shards if s.shard_id >= 0), default=-1
+        )
+        for shard in shards:
+            if shard.shard_id < 0:
+                shard.shard_id = next_id
+                next_id += 1
+        self._by_id: dict[int, Shard] = {s.shard_id: s for s in shards}
+        if len(self._by_id) != len(shards):
+            raise ValueError(
+                f"duplicate shard ids: {[s.shard_id for s in shards]!r}"
+            )
+        #: The source of truth for the partition layout.  Every routing
+        #: decision goes through it; its epoch bumps on split/merge.
+        self.table = RoutingTable(
+            [(s.lo_key, s.shard_id) for s in shards], epoch=epoch
+        )
+        self._next_shard_id = next_id
+        self._shards_cache: tuple[int, list[Shard]] | None = None
+        self._bind_config: StorageConfig | str | None = None
+        self._bind_warm = False
+        #: IOStats/clock time charged by stacks of shards that were
+        #: since split or merged away — keeps :meth:`merged_io` summing
+        #: to the pre-topology-change totals for already-charged work.
+        self.retired_io = IOStats()
+        self.retired_clock = 0.0
+        self._drain_hooks: list[Callable[[int], None]] = []
 
     # ==================================================================
     # construction
@@ -114,9 +165,9 @@ class ShardedIndex:
         key_column: str,
         n_shards: int = 4,
         kind: str = "bf",
-        config=None,
+        config: StorageConfig | str | None = None,
         unique: bool = False,
-        **cfg,
+        **cfg: Any,
     ) -> "ShardedIndex":
         """Build a donor index via the backend registry and slice it
         into up to ``n_shards``.
@@ -157,7 +208,8 @@ class ShardedIndex:
         return cls(relation, key_column, shards, kind, unique, donor_height)
 
     @staticmethod
-    def _choose_cuts(leaves: list, n_shards: int, donor: Index) -> list[int]:
+    def _choose_cuts(leaves: list[Any], n_shards: int,
+                     donor: Index) -> list[int]:
         """Balanced leaf-chain cut positions, adjusted off spanning keys
         (the backend's ``shard_cut_spans`` hook knows its leaf layout)."""
         n_leaves = len(leaves)
@@ -181,46 +233,245 @@ class ShardedIndex:
     # storage binding
     # ==================================================================
     def bind(self, config: StorageConfig | str, warm: bool = False) -> None:
-        """Give every shard a fresh, independent storage stack."""
+        """Give every shard a fresh, independent storage stack.
+
+        The config is remembered so shards created by a later
+        :meth:`split_shard`/:meth:`merge_shards` bind the same way.
+        """
+        self._bind_config = config
+        self._bind_warm = warm
         for shard in self.shards:
             shard.stack = build_stack(config)
             shard.index.bind(shard.stack, warm=warm)
 
     def unbind(self) -> None:
+        self._bind_config = None
+        self._bind_warm = False
         for shard in self.shards:
             shard.index.unbind()
             shard.stack = None
 
     # ==================================================================
+    # topology
+    # ==================================================================
+    @property
+    def shards(self) -> list[Shard]:
+        """Shards in key-range order for the *current* epoch.
+
+        The list is derived from the routing table (and memoized per
+        epoch); positions in it are epoch-scoped ordinals — hold a
+        stable ``shard_id`` instead when state outlives one call.
+        """
+        cached = self._shards_cache
+        epoch = self.table.epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        ordered = [self._by_id[e.shard_id] for e in self.table.entries]
+        self._shards_cache = (epoch, ordered)
+        return ordered
+
+    @property
+    def topology_epoch(self) -> int:
+        return self.table.epoch
+
+    def shard_by_id(self, shard_id: int) -> Shard | None:
+        """Resolve a stable shard id (None once split/merged away)."""
+        return self._by_id.get(shard_id)
+
+    def register_drain_hook(self, hook: Callable[[int], None]) -> None:
+        """Register a callback invoked with a shard id immediately
+        *before* that shard's range migrates (split/merge), while the
+        old routing epoch is still current — the Router uses this to
+        flush buffered writes to the old shard (read-your-writes)."""
+        self._drain_hooks.append(hook)
+
+    def unregister_drain_hook(self, hook: Callable[[int], None]) -> None:
+        try:
+            self._drain_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def drain(self, shard_id: int) -> None:
+        """Flush any registered buffered state targeting ``shard_id``
+        (e.g. Router read/write buffers) to the shard *as currently
+        routed*.  Topology operations call this before anything moves;
+        external orchestration (durable split/merge) may call it to
+        land buffered writes on a wrapper before unwrapping it."""
+        for hook in list(self._drain_hooks):
+            hook(shard_id)
+
+    def _retire_stack(self, shard: Shard) -> None:
+        """Absorb a to-be-discarded shard's charged work into the
+        service-level accumulators so ``merged_io`` stays continuous."""
+        if shard.stack is not None:
+            self.retired_io = self.retired_io + shard.stack.stats
+            self.retired_clock += shard.stack.clock.now()
+            shard.index.unbind()
+            shard.stack = None
+
+    def _admit(self, shard: Shard) -> None:
+        """Register a freshly built shard and bind it like its peers."""
+        self._by_id[shard.shard_id] = shard
+        if self._bind_config is not None:
+            shard.stack = build_stack(self._bind_config)
+            shard.index.bind(shard.stack, warm=self._bind_warm)
+
+    @staticmethod
+    def _split_cut(index: Index, leaves: list[Any], at: Any) -> int:
+        """Pick a leaf-chain cut for a split: the midpoint (or the first
+        leaf at/above ``at``), nudged off key-spanning boundaries while
+        keeping at least two leaves on each side."""
+        n = len(leaves)
+        if at is None:
+            ideal = n // 2
+        else:
+            at = as_scalar(at)
+            ideal = n - 2
+            for c in range(1, n):
+                span_lo = index.shard_leaf_span(leaves[c])[0]
+                if span_lo is not None and span_lo >= at:
+                    ideal = c
+                    break
+        ideal = max(2, min(n - 2, ideal))
+        for delta in range(n):
+            for c in (ideal + delta, ideal - delta):
+                if 2 <= c <= n - 2 and not index.shard_cut_spans(
+                    leaves[c - 1], leaves[c]
+                ):
+                    return c
+        raise ValueError(
+            "no valid split point: every candidate cut spans a key"
+        )
+
+    def split_shard(self, shard_id: int, *,
+                    at: Any = None) -> tuple[int, int]:
+        """Split one shard's key range into two live children.
+
+        The parent's leaf run is cut (optionally near key ``at``) and
+        each half rebuilt into an independent shard directory via the
+        backend's ``shard_from_leaves`` hook — the children reuse the
+        parent's leaf objects, so reads served after the split are
+        bit-identical to reads served before it.  Drain hooks run
+        before anything moves (Router-buffered writes land on the old
+        shard first), the parent's charged IOStats/clock are retired
+        into the service accumulators, and the routing-table epoch flips
+        last, once the children are registered and bound.
+
+        Returns the two fresh child shard ids (left, right).
+        """
+        shard = self._by_id.get(shard_id)
+        if shard is None:
+            raise KeyError(f"shard id {shard_id} is not in the service")
+        index = shard.index
+        if not index.supports_sharding:
+            raise ValueError(
+                f"shard {shard_id} ({type(index).__name__}) is not "
+                "leaf-sliceable and cannot be split"
+            )
+        if index.n_leaves < 4:
+            raise ValueError(
+                f"shard {shard_id} has {index.n_leaves} leaves; a split "
+                "needs at least 4 (two per child)"
+            )
+        # Flush Router-buffered writes for the migrating range to the
+        # *old* shard while the old epoch is still current.
+        self.drain(shard_id)
+        leaves = index.shard_leaves()
+        cut = self._split_cut(index, leaves, at)
+        left_run, right_run = leaves[:cut], leaves[cut:]
+        boundary = as_scalar(index.shard_leaf_span(right_run[0])[0])
+        left_hi = as_scalar(index.shard_leaf_span(left_run[-1])[1])
+        right_hi = as_scalar(index.shard_leaf_span(right_run[-1])[1])
+        self._retire_stack(shard)
+        left_id = self._next_shard_id
+        right_id = left_id + 1
+        self._next_shard_id += 2
+        left = Shard(index=index.shard_from_leaves(left_run),
+                     lo_key=shard.lo_key, hi_key=left_hi, shard_id=left_id)
+        right = Shard(index=index.shard_from_leaves(right_run),
+                      lo_key=boundary, hi_key=right_hi, shard_id=right_id)
+        del self._by_id[shard_id]
+        self._admit(left)
+        self._admit(right)
+        self.table.split(shard_id, boundary, left_id, right_id)
+        maybe_check(self)
+        return left_id, right_id
+
+    def merge_shards(self, sid_a: int, sid_b: int) -> int:
+        """Merge two *adjacent* shards into one live shard.
+
+        The two leaf runs are concatenated in key order and rebuilt into
+        one shard directory (``shard_from_leaves`` relinks the chain
+        across the old seam).  Drain hooks, stack retirement and the
+        epoch flip follow the same discipline as :meth:`split_shard`.
+
+        Returns the fresh merged shard id.
+        """
+        for sid in (sid_a, sid_b):
+            if sid not in self._by_id:
+                raise KeyError(f"shard id {sid} is not in the service")
+        oa = self.table.ordinal_of(sid_a)
+        ob = self.table.ordinal_of(sid_b)
+        if ob == oa - 1:            # caller order-insensitive
+            sid_a, sid_b = sid_b, sid_a
+        elif ob != oa + 1:
+            raise ValueError(
+                f"shards {sid_a} and {sid_b} are not adjacent in "
+                "key-range order"
+            )
+        left, right = self._by_id[sid_a], self._by_id[sid_b]
+        if not (left.index.supports_sharding
+                and right.index.supports_sharding):
+            raise ValueError(
+                f"shards {sid_a}/{sid_b} are not leaf-sliceable and "
+                "cannot be merged"
+            )
+        self.drain(sid_a)
+        self.drain(sid_b)
+        run = left.index.shard_leaves() + right.index.shard_leaves()
+        merged_hi = as_scalar(left.index.shard_leaf_span(run[-1])[1])
+        self._retire_stack(left)
+        self._retire_stack(right)
+        merged_id = self._next_shard_id
+        self._next_shard_id += 1
+        merged = Shard(index=left.index.shard_from_leaves(run),
+                       lo_key=left.lo_key, hi_key=merged_hi,
+                       shard_id=merged_id)
+        del self._by_id[sid_a]
+        del self._by_id[sid_b]
+        self._admit(merged)
+        self.table.merge(sid_a, sid_b, merged_id)
+        maybe_check(self)
+        return merged_id
+
+    # ==================================================================
     # routing
     # ==================================================================
-    def route(self, keys) -> np.ndarray:
-        """Shard index for each key (vectorized, rightmost-biased)."""
-        if len(self.shards) == 1:
-            return np.zeros(len(keys), dtype=np.int64)
-        return np.searchsorted(self._boundaries, np.asarray(keys),
-                               side="right")
+    def route(self, keys: Sequence[Any]) -> np.ndarray:
+        """Shard ordinal for each key (vectorized, rightmost-biased;
+        valid for the current epoch only — see :class:`RoutingTable`)."""
+        return self.table.route(keys)
 
-    def route_key(self, key) -> int:
-        return int(self.route(np.asarray([key]))[0])
+    def route_key(self, key: Any) -> int:
+        return self.table.route_key(key)
 
-    def scan_plan(self, lo, hi) -> list[tuple[int, object, object]]:
+    def scan_plan(self, lo: Any, hi: Any) -> list[tuple[int, Any, Any]]:
         """(shard, sub_lo, sub_hi) legs of a range scan over [lo, hi].
 
         Middle legs (every shard but the last) are clamped to the
-        *routing boundary* — the next shard's ``lo_key`` — not to the
-        shard's build-time ``hi_key``: inserts route any key below the
-        boundary to this shard, so clamping at the build-time maximum
-        would silently drop keys inserted between ``hi_key`` and the
-        boundary from cross-shard scans.  A shard can never hold a key
-        ``>=`` the boundary (the router sends those to its neighbour),
-        so consecutive legs sharing the boundary value cannot count
-        anything twice.
+        *routing boundary* — the next table entry's ``lo_key`` — not to
+        the shard's build-time ``hi_key``: inserts route any key below
+        the boundary to this shard, so clamping at the build-time
+        maximum would silently drop keys inserted between ``hi_key`` and
+        the boundary from cross-shard scans.  A shard can never hold a
+        key ``>=`` the boundary (the router sends those to its
+        neighbour), so consecutive legs sharing the boundary value
+        cannot count anything twice.
         """
         return self.scan_plan_many([(lo, hi)])[0]
 
-    def scan_plan_many(self, windows
-                       ) -> list[list[tuple[int, object, object]]]:
+    def scan_plan_many(self, windows: Iterable[tuple[Any, Any]]
+                       ) -> list[list[tuple[int, Any, Any]]]:
         """Vectorized :meth:`scan_plan` over a batch of scan windows.
 
         Both endpoints of every window are routed in one
@@ -231,15 +482,15 @@ class ShardedIndex:
         wins = normalize_scan_windows(windows)
         if not wins:
             return []
-        s_los = self.route([lo for lo, _ in wins])
-        s_his = self.route([hi for _, hi in wins])
-        plans: list[list[tuple[int, object, object]]] = []
+        table = self.table
+        s_los = table.route([lo for lo, _ in wins])
+        s_his = table.route([hi for _, hi in wins])
+        plans: list[list[tuple[int, Any, Any]]] = []
         for (lo, hi), s_lo, s_hi in zip(wins, s_los, s_his):
-            legs: list[tuple[int, object, object]] = []
+            legs: list[tuple[int, Any, Any]] = []
             for s in range(int(s_lo), int(s_hi) + 1):
-                shard = self.shards[s]
-                sub_lo = lo if s == s_lo else shard.lo_key
-                sub_hi = hi if s == s_hi else self.shards[s + 1].lo_key
+                sub_lo = lo if s == s_lo else table.lo_of(s)
+                sub_hi = hi if s == s_hi else table.boundary_of(s)
                 if sub_lo is None:
                     sub_lo = lo
                 if sub_lo <= sub_hi:
@@ -250,12 +501,12 @@ class ShardedIndex:
     # ==================================================================
     # operations (single-caller convenience; the Router batches)
     # ==================================================================
-    def search(self, key) -> SearchResult:
+    def search(self, key: Any) -> SearchResult:
         return self.shards[self.route_key(key)].index.search(key)
 
-    def search_many(self, keys,
+    def search_many(self, keys: Sequence[Any],
                     latency_sink: list[float] | None = None
-                    ) -> list[SearchResult]:
+                    ) -> list[SearchResult | None]:
         """Route a probe batch and dispatch each shard's slice through
         its ``search_many``; results come back in input order."""
         keys = [as_scalar(k) for k in keys]
@@ -280,19 +531,19 @@ class ShardedIndex:
             latency_sink.extend(latencies)
         return results
 
-    def insert(self, key, tid: int) -> None:
+    def insert(self, key: Any, tid: int) -> None:
         """Index tuple ``tid`` under ``key`` on the owning shard."""
         key = as_scalar(key)
         self.insert_on(self.shards[self.route_key(key)], key, tid)
 
-    def insert_on(self, shard: Shard, key, tid: int) -> None:
+    def insert_on(self, shard: Shard, key: Any, tid: int) -> None:
         """Insert on an already-routed shard.  Tuple-id-to-native-target
         translation (BF-Trees index data *pages*, rid-based backends
         keep the tuple id) lives in the protocol's ``write_target``
         hook, so no backend branching happens here."""
         shard.index.insert(key, shard.index.write_target(int(tid)))
 
-    def insert_many(self, keys, tids,
+    def insert_many(self, keys: Sequence[Any], tids: Sequence[int],
                     latency_sink: list[float] | None = None) -> None:
         """Vectorized batch insert: route the whole batch in one pass,
         then drive each shard's slice through its ``insert_many``.
@@ -326,7 +577,8 @@ class ShardedIndex:
             latency_sink.extend(latencies)
         maybe_check(self)
 
-    def insert_many_on(self, shard: Shard, keys, tids,
+    def insert_many_on(self, shard: Shard, keys: Sequence[Any],
+                       tids: Sequence[int],
                        latency_sink: list[float] | None = None) -> None:
         """Batch :meth:`insert_on` for an already-routed key group —
         the Router's write-batching entry point."""
@@ -334,8 +586,9 @@ class ShardedIndex:
         shard.index.insert_many(keys, targets, latency_sink=latency_sink)
         maybe_check(self)
 
-    def delete_many(self, keys, tids=None,
-                    latency_sink: list[float] | None = None) -> list:
+    def delete_many(self, keys: Sequence[Any],
+                    tids: Sequence[int | None] | None = None,
+                    latency_sink: list[float] | None = None) -> list[Any]:
         """Batch delete, routed like :meth:`insert_many`.
 
         ``tids`` (tuple ids, translated per backend via ``write_target``
@@ -345,20 +598,23 @@ class ShardedIndex:
         """
         keys = [as_scalar(k) for k in keys]
         n = len(keys)
-        tids = [None] * n if tids is None else list(tids)
+        tid_list: list[int | None] = (
+            [None] * n if tids is None else list(tids)
+        )
         assign = self.route(keys)
-        outcomes: list = [None] * n
+        outcomes: list[Any] = [None] * n
         latencies = [0.0] * n
         for s, shard in enumerate(self.shards):
             idx = np.nonzero(assign == s)[0]
             if not len(idx):
                 continue
             sub_keys = [keys[i] for i in idx]
-            targets = [
-                None if tids[i] is None
-                else shard.index.write_target(int(tids[i]))
-                for i in idx
-            ]
+            targets: list[Any] = []
+            for i in idx:
+                t = tid_list[i]
+                targets.append(
+                    None if t is None else shard.index.write_target(int(t))
+                )
             sub_sink: list[float] | None = (
                 [] if latency_sink is not None else None
             )
@@ -374,7 +630,7 @@ class ShardedIndex:
         maybe_check(self)
         return outcomes
 
-    def range_scan(self, lo, hi) -> RangeScanResult:
+    def range_scan(self, lo: Any, hi: Any) -> RangeScanResult:
         """Scatter-gather scan: every overlapping shard scans its slice."""
         total = RangeScanResult(matches=0, pages_read=0, leaves_visited=0)
         for s, sub_lo, sub_hi in self.scan_plan(lo, hi):
@@ -384,7 +640,7 @@ class ShardedIndex:
             total.leaves_visited += part.leaves_visited
         return total
 
-    def range_scan_many(self, windows,
+    def range_scan_many(self, windows: Iterable[tuple[Any, Any]],
                         latency_sink: list[float] | None = None
                         ) -> list[RangeScanResult]:
         """Vectorized batch :meth:`range_scan`: plan every window's legs
@@ -406,7 +662,7 @@ class ShardedIndex:
             for _ in range(n)
         ]
         latencies = [0.0] * n
-        per_shard: list[list[tuple[int, object, object]]] = [
+        per_shard: list[list[tuple[int, Any, Any]]] = [
             [] for _ in self.shards
         ]
         for j, legs in enumerate(plans):
@@ -439,7 +695,7 @@ class ShardedIndex:
     # ==================================================================
     @property
     def n_shards(self) -> int:
-        return len(self.shards)
+        return len(self._by_id)
 
     @property
     def uniform_height(self) -> bool:
@@ -460,14 +716,18 @@ class ShardedIndex:
         return max(s.index.height for s in self.shards)
 
     def merged_io(self) -> IOStats:
-        """Sum of all bound shards' counters."""
-        total = IOStats()
+        """All shards' counters summed into one block — including work
+        charged by since-retired shards (split/merge donors), so the sum
+        stays continuous across topology changes."""
+        total = IOStats() + self.retired_io
         for shard in self.shards:
             if shard.stack is not None:
                 total = total + shard.stack.stats
         return total
 
     def shard_clocks(self) -> list[float]:
+        """Per live shard simulated clocks, in key-range order
+        (``retired_clock`` holds the since-retired shards' time)."""
         return [
             s.stack.clock.now() if s.stack is not None else 0.0
             for s in self.shards
@@ -476,6 +736,6 @@ class ShardedIndex:
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"ShardedIndex(kind={self.kind!r}, column={self.key_column!r}, "
-            f"shards={self.n_shards}, leaves={self.n_leaves}, "
-            f"pages={self.size_pages})"
+            f"shards={self.n_shards}, epoch={self.topology_epoch}, "
+            f"leaves={self.n_leaves}, pages={self.size_pages})"
         )

@@ -15,11 +15,20 @@ Zipfian(theta) distribution over the column's distinct values and then
 *scrambled* through a seeded permutation, so the hot set is spread across
 the key domain instead of clustering at the smallest keys (which would
 unrealistically favour one index leaf).
+
+The **moving-hotspot** shape (``skew="hotspot"``) is the deliberate
+exception: popularity is Zipfian in *distance* from a hot center that
+drifts across the key domain in ``phases`` equal phases, and the ranks
+are *not* scrambled — spatial locality is the point.  Each phase melts
+the one shard owning the current center while the rest idle, which is
+exactly the time-varying skew the elastic serving layer (split/merge +
+rebalancer) exists to absorb.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -142,6 +151,36 @@ class MixedTrace:
     def op_counts(self) -> dict[str, int]:
         return {name: self.count(code) for code, name in OP_NAMES.items()}
 
+    def slice(self, start: int, stop: int | None = None) -> "MixedTrace":
+        """A contiguous sub-trace over operations ``[start, stop)``.
+
+        Replaying every window of a sliced trace in order is equivalent
+        to replaying the whole trace once — the elastic control loop
+        leans on this to interleave rebalance decisions between windows.
+        """
+        sl = slice(start, stop)
+        return MixedTrace(
+            ops=self.ops[sl],
+            keys=self.keys[sl],
+            tids=self.tids[sl],
+            scan_widths=self.scan_widths[sl],
+            mix=self.mix,
+            skew=self.skew,
+            theta=self.theta,
+            seed=self.seed,
+            expected_hits=(
+                None if self.expected_hits is None
+                else self.expected_hits[sl]
+            ),
+        )
+
+    def iter_windows(self, window_ops: int) -> "Iterator[MixedTrace]":
+        """Yield consecutive :meth:`slice` windows of ``window_ops`` ops."""
+        if window_ops < 1:
+            raise ValueError("window_ops must be >= 1")
+        for start in range(0, len(self), window_ops):
+            yield self.slice(start, start + window_ops)
+
 
 def generate_trace(
     relation: Relation,
@@ -153,13 +192,24 @@ def generate_trace(
     seed: int | None = None,
     hit_rate: float = 1.0,
     max_scan_keys: int = 100,
+    phases: int = 4,
+    hotspot_width: float = 0.25,
 ) -> MixedTrace:
     """Generate a seeded mixed-workload trace against one indexed column.
 
-    * Reads draw keys by popularity (``skew="zipfian"`` or
-      ``"uniform"``) from the column's distinct values; a ``hit_rate``
-      below 1.0 replaces the complement fraction with keys beyond the
-      key domain (guaranteed misses, as in §6.4's hit-rate sweeps).
+    * Reads draw keys by popularity (``skew="zipfian"``, ``"uniform"``
+      or ``"hotspot"``) from the column's distinct values; a
+      ``hit_rate`` below 1.0 replaces the complement fraction with keys
+      beyond the key domain (guaranteed misses, as in §6.4's hit-rate
+      sweeps).
+    * ``skew="hotspot"`` is the moving-hotspot shape: the trace is cut
+      into ``phases`` equal phases; within phase ``p`` keys cluster
+      around a hot center at position ``(p + 0.5) / phases`` of the
+      distinct-value range, with Zipfian(theta)-distributed distance
+      from the center spanning about ``hotspot_width`` of the domain.
+      Unlike the other shapes the ranks are *not* scrambled — the hot
+      set is a contiguous key region that drifts, concentrating load on
+      one shard at a time.
     * Inserts re-index a popular key at its true data page — the only
       write the simulator's immutable relation admits, but one that
       exercises the full leaf write/split path.
@@ -167,8 +217,8 @@ def generate_trace(
       1..``max_scan_keys`` key values (YCSB-E convention).
 
     The same ``(relation, column, mix, n_ops, skew, theta, seed,
-    hit_rate, max_scan_keys)`` tuple always produces the identical
-    trace.
+    hit_rate, max_scan_keys, phases, hotspot_width)`` tuple always
+    produces the identical trace.
     """
     if isinstance(mix, str):
         try:
@@ -177,12 +227,18 @@ def generate_trace(
             raise ValueError(
                 f"unknown mix {mix!r}; pick from {sorted(MIXES)}"
             ) from None
-    if skew not in ("zipfian", "uniform"):
-        raise ValueError(f"skew must be 'zipfian' or 'uniform', got {skew!r}")
+    if skew not in ("zipfian", "uniform", "hotspot"):
+        raise ValueError(
+            f"skew must be 'zipfian', 'uniform' or 'hotspot', got {skew!r}"
+        )
     if not 0.0 <= hit_rate <= 1.0:
         raise ValueError("hit_rate must be in [0, 1]")
     if n_ops < 1:
         raise ValueError("n_ops must be positive")
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    if not 0.0 < hotspot_width <= 1.0:
+        raise ValueError("hotspot_width must be in (0, 1]")
     seed = derive_seed(None, "trace") if seed is None else seed
     rng = np.random.default_rng(seed)
 
@@ -197,14 +253,33 @@ def generate_trace(
         p=mix.probabilities,
     ).astype(np.uint8)
 
-    # Popularity-ranked key choice, scrambled across the domain.
+    # Popularity-ranked key choice.  zipfian/uniform scramble the ranks
+    # across the domain (YCSB convention); hotspot deliberately does
+    # not — its popularity is Zipfian in *distance* from a drifting
+    # center, so the hot set is spatially contiguous.
     u = rng.random(n_ops)
-    if skew == "zipfian" and n_distinct > 1:
-        ranks = ZipfianGenerator(n_distinct, theta).ranks(u)
+    if skew == "hotspot" and n_distinct > 1:
+        window = max(1, int(round(hotspot_width * n_distinct)))
+        # Zipfian rank = distance rank within the hot window; split it
+        # into a magnitude and a seeded side so the hotspot is roughly
+        # symmetric around the center.
+        ranks = ZipfianGenerator(window, theta).ranks(u)
+        signs = rng.choice(np.array([-1, 1], dtype=np.int64), size=n_ops)
+        offsets = signs * ((ranks + 1) // 2)
+        phase = (np.arange(n_ops, dtype=np.int64) * phases) // n_ops
+        centers = (
+            (phase.astype(np.float64) + 0.5) / phases * n_distinct
+        ).astype(np.int64)
+        pos = np.clip(centers + offsets, 0, n_distinct - 1)
+        keys = distinct[pos].copy()
     else:
-        ranks = np.minimum((u * n_distinct).astype(np.int64), n_distinct - 1)
-    scramble = rng.permutation(n_distinct)
-    keys = distinct[scramble[ranks]].copy()
+        if skew == "zipfian" and n_distinct > 1:
+            ranks = ZipfianGenerator(n_distinct, theta).ranks(u)
+        else:
+            ranks = np.minimum((u * n_distinct).astype(np.int64),
+                               n_distinct - 1)
+        scramble = rng.permutation(n_distinct)
+        keys = distinct[scramble[ranks]].copy()
     expected = np.ones(n_ops, dtype=bool)
 
     # Misses: only meaningful for reads; replace the requested fraction

@@ -183,3 +183,29 @@ def test_seed_flag_reproducible(capsys):
         runs.append(capsys.readouterr().out)
     assert runs[0] == runs[1]
     assert runs[0] != runs[2]
+
+
+def test_serve_bench_rebalance(capsys, tmp_path):
+    out = tmp_path / "elastic.json"
+    assert main([
+        "serve-bench", "--rebalance", "--tuples", "32768", "--ops", "1024",
+        "--shards", "4", "--mix", "read_heavy", "--skew", "hotspot",
+        "--window-ops", "128", "--seed", "5", "--out", str(out),
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "serve-bench --rebalance" in text
+    assert "splits/merges" in text and "load bal" in text
+    import json
+
+    reports = json.loads(out.read_text())
+    assert reports[0]["initial_shards"] == 4
+    assert reports[0]["final_epoch"] >= 0
+    assert reports[0]["load"]["n_windows"] == 8
+
+
+def test_serve_bench_rebalance_rejects_durable(capsys):
+    with pytest.raises(SystemExit, match="durable"):
+        main([
+            "serve-bench", "--rebalance", "--durable",
+            "--tuples", "8192", "--ops", "100", "--shards", "4",
+        ])

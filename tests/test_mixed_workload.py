@@ -192,3 +192,83 @@ class TestSeedPlumbing:
     def test_unknown_stream_rejected(self):
         with pytest.raises(KeyError):
             derive_seed(1, "nope")
+
+
+class TestMovingHotspot:
+    """The drifting-hotspot skew shape feeding the rebalance benchmark."""
+
+    def test_same_seed_same_trace(self, relation):
+        a = generate_trace(relation, "pk", mix="read_heavy", n_ops=2000,
+                           skew="hotspot", seed=13, phases=4,
+                           hotspot_width=0.2)
+        b = generate_trace(relation, "pk", mix="read_heavy", n_ops=2000,
+                           skew="hotspot", seed=13, phases=4,
+                           hotspot_width=0.2)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.tids, b.tids)
+        assert np.array_equal(a.scan_widths, b.scan_widths)
+
+    def test_derived_seed_stream(self, relation):
+        """Trace generation seeds through derive_seed(master, "trace"),
+        so different masters give different hotspot traces."""
+        a = generate_trace(relation, "pk", n_ops=1000, skew="hotspot",
+                           seed=1)
+        b = generate_trace(relation, "pk", n_ops=1000, skew="hotspot",
+                           seed=2)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_hotspot_center_drifts_across_phases(self, relation):
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=8000,
+                               skew="hotspot", seed=3, phases=4,
+                               hotspot_width=0.1)
+        distinct = np.sort(np.unique(np.asarray(relation.columns["pk"])))
+        pos = np.searchsorted(distinct, trace.keys) / len(distinct)
+        q = len(trace) // 4
+        centers = [float(np.median(pos[i * q:(i + 1) * q]))
+                   for i in range(4)]
+        # Phase medians march monotonically across the key space near
+        # the (p + 0.5) / phases grid.
+        assert all(b > a for a, b in zip(centers, centers[1:]))
+        for p, c in enumerate(centers):
+            assert abs(c - (p + 0.5) / 4) < 0.1, (p, c)
+
+    def test_hotspot_is_spatially_contiguous(self, relation):
+        """Unlike zipfian, hotspot ranks are not scrambled: in any one
+        phase the hot keys cluster in a narrow slice of the domain."""
+        trace = generate_trace(relation, "pk", mix="read_only", n_ops=4000,
+                               skew="hotspot", seed=7, phases=1,
+                               hotspot_width=0.1)
+        distinct = np.sort(np.unique(np.asarray(relation.columns["pk"])))
+        pos = np.searchsorted(distinct, trace.keys) / len(distinct)
+        lo, hi = np.quantile(pos, [0.05, 0.95])
+        assert hi - lo < 0.2       # 90% of traffic inside a narrow band
+
+    def test_parameter_validation(self, relation):
+        with pytest.raises(ValueError, match="phases"):
+            generate_trace(relation, "pk", skew="hotspot", phases=0)
+        with pytest.raises(ValueError, match="hotspot_width"):
+            generate_trace(relation, "pk", skew="hotspot",
+                           hotspot_width=0.0)
+        with pytest.raises(ValueError, match="hotspot_width"):
+            generate_trace(relation, "pk", skew="hotspot",
+                           hotspot_width=1.5)
+
+    def test_slice_and_windows_partition_the_trace(self, relation):
+        trace = generate_trace(relation, "pk", mix="scan_mix", n_ops=1000,
+                               skew="hotspot", seed=9)
+        head = trace.slice(0, 300)
+        assert len(head) == 300
+        assert np.array_equal(head.keys, trace.keys[:300])
+        assert np.array_equal(head.ops, trace.ops[:300])
+        assert np.array_equal(head.tids, trace.tids[:300])
+        chunks = list(trace.iter_windows(256))
+        assert [len(c) for c in chunks] == [256, 256, 256, 232]
+        assert np.array_equal(
+            np.concatenate([c.keys for c in chunks]), trace.keys
+        )
+        assert np.array_equal(
+            np.concatenate([c.ops for c in chunks]), trace.ops
+        )
+        with pytest.raises(ValueError):
+            list(trace.iter_windows(0))

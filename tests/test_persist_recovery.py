@@ -79,6 +79,29 @@ for i in range(n_keys):
     print(f"ACK {key}", flush=True)
 """ % MULT
 
+CHILD_SPLIT_SERVICE = """
+import sys
+import numpy as np
+from repro.persist import make_durable_service, split_durable_shard
+from repro.storage import Relation
+
+directory, n_keys = sys.argv[1], int(sys.argv[2])
+rel = Relation({"pk": np.arange(n_keys, dtype=np.int64)}, tuple_size=256,
+               name="crash-rel")
+service = make_durable_service(rel, "pk", directory, n_shards=2, kind="bf",
+                               unique=True, sync_every=1, fpp=1e-3)
+assert service.n_shards == 2, service.n_shards
+victim = max(service.shards, key=lambda s: s.index.n_leaves).shard_id
+split_durable_shard(service, directory, victim)
+assert service.topology_epoch == 1
+assert service.n_shards == 3
+print("READY", flush=True)
+for i in range(n_keys):
+    key = (i * %d) %% n_keys
+    service.delete_many([key])
+    print(f"ACK {key}", flush=True)
+""" % MULT
+
 
 def _run_child_until(script: str, directory: Path, n_keys: int,
                      kill_after: int, tmp_path: Path) -> list[int]:
@@ -188,6 +211,59 @@ def test_kill9_sharded_service_recovers_every_acked_op(tmp_path):
             apply_record(reference, record)
             replayed_keys.update(record.get("keys", [record.get("key")]))
     assert set(acked) <= replayed_keys
+    probes = list(range(0, n_keys, 131)) + acked
+    got = service.search_many(probes)
+    want = [reference.search(k) for k in probes]
+    assert got == want
+
+    force(True)
+    try:
+        check(service)
+    finally:
+        force(None)
+
+
+def test_kill9_post_split_topology_survives_recovery(tmp_path):
+    """A durable split commits: kill-9 after it, recover the new layout."""
+    n_keys, kill_after = 32768, 24
+    directory = tmp_path / "svc"
+    acked = _run_child_until(CHILD_SPLIT_SERVICE, directory, n_keys,
+                             kill_after, tmp_path)
+    assert len(acked) == kill_after
+
+    rel = _relation(n_keys)
+    service = recover_service(directory, rel)
+
+    # The post-split topology came back intact: epoch 1, three shards,
+    # the two fresh child ids present, exactly one original survivor.
+    assert service.topology_epoch == 1
+    assert service.n_shards == 3
+    ids = set(service.table.shard_ids)
+    assert {2, 3} <= ids
+    assert len(ids & {0, 1}) == 1
+    # Directory tree matches the manifest: one dir per live shard, the
+    # split parent's directory is gone.
+    on_disk = {p.name for p in directory.iterdir() if p.is_dir()}
+    assert on_disk == {f"shard-{sid:03d}" for sid in ids}
+    # Routing fences are contiguous: each shard's lo is the previous
+    # boundary, and the fresh children abut at the split boundary.
+    entries = service.table.entries
+    assert entries[0].lo_key is None
+    for left, right in zip(entries, entries[1:]):
+        left_shard = service.shard_by_id(left.shard_id)
+        assert left_shard is not None
+        assert right.lo_key > (left.lo_key if left.lo_key is not None
+                               else -1)
+
+    # Zero lost acknowledged ops across the rebalanced layout.
+    for key in acked:
+        assert not service.search(key).found, key
+
+    # Bit-identity against a reference applying every replayed record.
+    reference = make_index("bf", rel, "pk", unique=True, fpp=1e-3)
+    for shard in service.shards:
+        for record in replay_wal(shard.index.wal_path)[0]:
+            apply_record(reference, record)
     probes = list(range(0, n_keys, 131)) + acked
     got = service.search_many(probes)
     want = [reference.search(k) for k in probes]

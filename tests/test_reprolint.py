@@ -313,3 +313,69 @@ def test_protocol_surface_covers_checkpoint_hooks():
     assert "restore_state" in PROTOCOL_SURFACE
     vs = lint_source('def f(ix):\n    return hasattr(ix, "snapshot_state")\n')
     assert rules_of(vs) == ["protocol-discipline"]
+
+
+# ======================================================================
+# topology-discipline (P4: no caching .shards across epochs)
+# ======================================================================
+class TestShardCaching:
+    SVC = "src/repro/service/rebalance.py"
+
+    @pytest.mark.parametrize("body", [
+        "self.hot = service.shards[0]",
+        "self.view = service.shards",
+        "self.first = self.service.shards[i]",
+        "self.pair: tuple = (service.shards[0], service.shards[1])",
+    ])
+    def test_caching_shards_in_self_flagged(self, body):
+        src = (
+            "class Controller:\n"
+            "    def observe(self, service, i):\n"
+            f"        {body}\n"
+        )
+        vs = lint_source(src, self.SVC)
+        assert rules_of(vs) == ["protocol-discipline"]
+        assert "P4" in vs[0].message
+        assert "epoch" in vs[0].message
+
+    def test_transient_local_read_is_clean(self):
+        # Reading through the service per use is the sanctioned pattern.
+        src = (
+            "class Controller:\n"
+            "    def observe(self, service):\n"
+            "        for shard in service.shards:\n"
+            "            shard.index.n_leaves\n"
+            "        hot = service.shards[0]\n"
+            "        return hot.shard_id\n"
+        )
+        assert lint_source(src, self.SVC) == []
+
+    def test_caching_service_handle_is_clean(self):
+        # Holding the ShardedIndex itself is fine; it owns the epochs.
+        src = (
+            "class Controller:\n"
+            "    def __init__(self, service):\n"
+            "        self.service = service\n"
+        )
+        assert lint_source(src, self.SVC) == []
+
+    def test_topology_owners_are_exempt(self):
+        src = (
+            "class ShardedIndex:\n"
+            "    def _admit(self, shard):\n"
+            "        self.shards = self.shards + [shard]\n"
+        )
+        assert lint_source(src, "src/repro/service/sharded.py") == []
+        assert lint_source(src, "src/repro/service/routing.py") == []
+        assert rules_of(lint_source(src, self.SVC)) == [
+            "protocol-discipline"
+        ]
+
+    def test_rule_scoped_to_service_layer(self):
+        src = (
+            "class Report:\n"
+            "    def __init__(self, svc):\n"
+            "        self.shards_seen = svc.shards\n"
+        )
+        assert lint_source(src, "src/repro/analysis/report.py") == []
+        assert lint_source(src, "tests/test_service.py") == []

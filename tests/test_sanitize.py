@@ -24,6 +24,8 @@ from repro.analysis.sanitize import (
 )
 from repro.api import make_index
 from repro.service import ShardedIndex
+from repro.service.routing import RouteEntry
+from repro.storage.relation import Relation
 
 FPP = 1e-3
 
@@ -192,27 +194,70 @@ class TestFDTombstones:
 # scenario 4: shard routing corruption
 # ======================================================================
 class TestShardRouting:
-    def test_routing_boundary_vs_lo_key(self, sharded):
+    def test_routing_entry_vs_shard_lo_key(self, sharded):
         assert len(sharded.shards) >= 2, "fixture did not shard"
         sharded.shards[1].lo_key += 1
         with pytest.raises(StructuralCorruption,
-                           match="disagree with shard lo_keys"):
+                           match="stale routing entry"):
             check_sharded(sharded)
 
     def test_boundary_shifted_past_leaf_span(self, sharded):
-        # Move the first cut up past shard 1's first leaf: routing and
-        # lo_key still agree, but that leaf now holds keys the router
-        # would send to shard 0.
+        # Move the first fence up past shard 1's first leaf: the table
+        # entry and the shard's lo_key still agree, but that leaf now
+        # holds keys the router would send to the shard on its left.
         assert len(sharded.shards) >= 2, "fixture did not shard"
         shard1 = sharded.shards[1]
         first_leaf = shard1.index.shard_leaves()[0]
         span_lo, _ = shard1.index.shard_leaf_span(first_leaf)
         shard1.lo_key = span_lo + 1
-        sharded._boundaries = np.asarray(
-            [s.lo_key for s in sharded.shards[1:]]
+        sharded.table._entries[1] = RouteEntry(lo_key=span_lo + 1,
+                                               shard_id=shard1.shard_id)
+        sharded.table._rebuild()
+        with pytest.raises(StructuralCorruption,
+                           match="below the shard's lo fence"):
+            check_sharded(sharded)
+
+    def test_stale_routing_entry_after_split(self, sharded):
+        # A split that leaves the old fence behind in one layer of the
+        # routing state: the table entries move but the cached fence
+        # array (what route() actually searches) stays at the parent's
+        # layout — the epoch-aware check must catch the disagreement.
+        # The session fixture's shards are too small to split (2 leaves
+        # each); build a wider one so a shard has >= 4 leaves.
+        relation = Relation(
+            {"pk": np.arange(32768, dtype=np.int64)},
+            tuple_size=256, name="pk-wide",
+        )
+        sharded = ShardedIndex.build(relation, "pk", n_shards=2, kind="bf",
+                                     unique=True, fpp=FPP)
+        assert len(sharded.shards) >= 2, "fixture did not shard"
+        victim = max(sharded.shards, key=lambda s: s.index.n_leaves)
+        assert victim.index.n_leaves >= 4, "fixture shard too small to split"
+        left_id, right_id = sharded.split_shard(victim.shard_id)
+        check_sharded(sharded)        # healthy at the new epoch
+        o = sharded.table.ordinal_of(right_id)
+        entry = sharded.table._entries[o]
+        sharded.table._entries[o] = RouteEntry(
+            lo_key=entry.lo_key + 1, shard_id=entry.shard_id
         )
         with pytest.raises(StructuralCorruption,
-                           match="below the shard's lo_key"):
+                           match="stale routing state"):
+            check_sharded(sharded)
+        # Even once the fence cache is rebuilt, the entry still
+        # disagrees with the live shard it names.
+        sharded.table._rebuild()
+        with pytest.raises(StructuralCorruption,
+                           match="stale routing entry"):
+            check_sharded(sharded)
+
+    def test_routing_ids_vs_registered_shards(self, sharded):
+        assert len(sharded.shards) >= 2, "fixture did not shard"
+        sid = sharded.table.id_at(0)
+        ghost = sharded._by_id.pop(sid)
+        sharded._by_id[ghost.shard_id + 1000] = ghost
+        sharded._shards_cache = None
+        with pytest.raises(StructuralCorruption,
+                           match="disagree with registered shards"):
             check_sharded(sharded)
 
     def test_corrupt_member_tree_found_recursively(self, sharded):

@@ -403,3 +403,315 @@ class TestRouterValidation:
         results = service.search_many(probes.keys)
         assert len(results) == 20
         assert all(r.found for r in results)
+
+
+# ---------------------------------------------------------------------------
+# dynamic topology: routing table, live split/merge, rebalancing
+# ---------------------------------------------------------------------------
+
+from repro.service import (          # noqa: E402  (grouped with their tests)
+    LoadWindow,
+    Rebalancer,
+    RebalancerConfig,
+    RoutingTable,
+    queued_response_times,
+    run_elastic_service,
+)
+
+
+@pytest.fixture(scope="module")
+def wide_relation():
+    """32768 sorted int64 pks: a 16-leaf donor, so 4 shards of 4 leaves
+    each — every shard is live-splittable (>= 4 leaves)."""
+    return Relation({"pk": np.arange(32768, dtype=np.int64)},
+                    tuple_size=256, name="pk-wide")
+
+
+def _wide_service(wide_relation, n_shards=4):
+    return ShardedIndex.build(wide_relation, "pk", n_shards=n_shards,
+                              kind="bf", fpp=FPP)
+
+
+class TestRoutingTable:
+    def test_route_and_stable_ids(self):
+        t = RoutingTable([(None, 10), (100, 20), (200, 30)])
+        assert t.epoch == 0
+        assert t.shard_ids == [10, 20, 30]
+        assert list(t.route([5, 99, 100, 150, 200, 999])) \
+            == [0, 0, 1, 1, 2, 2]
+        assert list(t.route_ids([5, 100, 999])) == [10, 20, 30]
+        assert t.route_key(99) == 0
+        assert t.span_of(20) == (100, 200)
+        assert t.span_of(30) == (200, None)
+        assert t.ordinal_of(30) == 2
+        with pytest.raises(KeyError):
+            t.ordinal_of(999)
+
+    def test_split_and_merge_bump_epoch(self):
+        t = RoutingTable([(None, 0), (100, 1)])
+        t.split(1, 150, 2, 3)
+        assert t.epoch == 1
+        assert t.shard_ids == [0, 2, 3]
+        assert t.route_key(120) == 1 and t.route_key(150) == 2
+        t.merge(2, 3, 4)
+        assert t.epoch == 2
+        assert t.shard_ids == [0, 4]
+        assert t.span_of(4) == (100, None)
+
+    def test_split_validations(self):
+        t = RoutingTable([(None, 0), (100, 1)])
+        with pytest.raises(ValueError, match="not above"):
+            t.split(1, 100, 2, 3)          # boundary == range lo
+        with pytest.raises(ValueError, match="not below"):
+            t.split(0, 150, 2, 3)          # boundary past the upper fence
+        with pytest.raises(ValueError, match="already routed"):
+            t.split(1, 150, 0, 3)          # child id collides with a live one
+        with pytest.raises(ValueError, match="must differ"):
+            t.split(1, 150, 3, 3)
+        assert t.epoch == 0                # failed ops never bump the epoch
+
+    def test_merge_requires_adjacency(self):
+        t = RoutingTable([(None, 0), (100, 1), (200, 2)])
+        with pytest.raises(ValueError, match="not adjacent"):
+            t.merge(0, 2, 9)
+        with pytest.raises(ValueError, match="not adjacent"):
+            t.merge(1, 0, 9)               # wrong order is not adjacency
+        assert t.epoch == 0
+
+    def test_leftmost_entry_must_be_open(self):
+        with pytest.raises(ValueError, match="lo_key None"):
+            RoutingTable([(5, 0), (100, 1)])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RoutingTable([(None, 0), (100, 1), (100, 2)])
+
+
+class TestDynamicTopology:
+    def test_split_mints_fresh_ids_and_bumps_epoch(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        ids0 = list(svc.table.shard_ids)
+        victim = ids0[1]
+        lo, hi = svc.table.span_of(victim)
+        left, right = svc.split_shard(victim)
+        assert svc.topology_epoch == 1
+        assert svc.n_shards == 5
+        assert victim not in svc.table.shard_ids
+        assert left not in ids0 and right not in ids0
+        # The children cover exactly the parent's old range.
+        llo, lhi = svc.table.span_of(left)
+        rlo, rhi = svc.table.span_of(right)
+        assert llo == lo and rhi == hi and lhi == rlo
+
+    def test_split_preserves_reads_and_io_continuity(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        svc.bind(CONFIG)
+        try:
+            keys = list(range(0, 32768, 97))
+            before = svc.search_many(keys)
+            io0 = svc.merged_io().snapshot().__dict__
+            victim = max(svc.shards,
+                         key=lambda s: s.index.n_leaves).shard_id
+            svc.split_shard(victim)
+            # Splitting charges no I/O and loses none already charged.
+            assert svc.merged_io().snapshot().__dict__ == io0
+            after = svc.search_many(keys)
+            assert after == before
+        finally:
+            svc.unbind()
+
+    def test_merge_restores_single_range(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        victim = max(svc.shards, key=lambda s: s.index.n_leaves).shard_id
+        lo, hi = svc.table.span_of(victim)
+        left, right = svc.split_shard(victim)
+        merged = svc.merge_shards(right, left)   # order-insensitive
+        assert svc.topology_epoch == 2
+        assert svc.n_shards == 4
+        assert svc.table.span_of(merged) == (lo, hi)
+        results = svc.search_many(list(range(0, 32768, 131)))
+        assert all(r.found for r in results)
+
+    def test_split_validations(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        with pytest.raises(KeyError, match="not in the service"):
+            svc.split_shard(999)
+        ids = svc.table.shard_ids
+        with pytest.raises(ValueError, match="not adjacent"):
+            svc.merge_shards(ids[0], ids[2])
+
+    def test_split_needs_four_leaves(self):
+        rel = Relation({"pk": np.arange(8192, dtype=np.int64)},
+                       tuple_size=256, name="pk-narrow")
+        svc = ShardedIndex.build(rel, "pk", n_shards=2, kind="bf", fpp=FPP)
+        sid = svc.table.shard_ids[0]
+        assert svc.shard_by_id(sid).index.n_leaves == 2
+        with pytest.raises(ValueError, match="at least 4"):
+            svc.split_shard(sid)
+
+    @pytest.mark.parametrize("mix,skew", [
+        ("balanced", "hotspot"),
+        ("scan_mix", "zipfian"),
+    ])
+    def test_mid_trace_topology_changes_preserve_results(
+        self, wide_relation, mix, skew
+    ):
+        """The acceptance property: a trace replayed through a service
+        undergoing forced mid-trace splits and merges returns per-op
+        results bit-identical to a static-topology replay."""
+        trace = generate_trace(wide_relation, "pk", mix=mix, n_ops=1800,
+                               skew=skew, seed=77)
+        static = _wide_service(wide_relation)
+        report = run_service(static, trace, CONFIG)
+        want = report.results
+
+        dyn = _wide_service(wide_relation)
+        dyn.bind(CONFIG)
+        router = Router(dyn)
+        got = []
+        try:
+            cuts = [0, 600, 1200, len(trace)]
+            children = None
+            for j, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+                got.extend(router.replay(trace.slice(lo, hi))[0])
+                if j == 0:
+                    victim = max(
+                        dyn.shards, key=lambda s: s.index.n_leaves
+                    ).shard_id
+                    children = dyn.split_shard(victim)
+                elif j == 1:
+                    dyn.merge_shards(*children)
+            dyn_io = dyn.merged_io().snapshot().__dict__
+        finally:
+            router.close()
+            dyn.unbind()
+        assert dyn.topology_epoch == 2
+        assert len(got) == len(want)
+        assert got == want
+        if mix == "balanced":
+            # No scans cross the transient boundary, so even the summed
+            # I/O counters match the static topology exactly.
+            assert dyn_io == report.stats.io.snapshot().__dict__
+
+
+def _load(svc, index, clock):
+    """A LoadWindow over the service's live shards with given clocks."""
+    return LoadWindow(index=index, epoch=svc.topology_epoch,
+                      ops={sid: 1 for sid in svc.table.shard_ids},
+                      clock=clock)
+
+
+def _skewed(svc, index, hot_sid, share=0.9):
+    ids = svc.table.shard_ids
+    others = [s for s in ids if s != hot_sid]
+    clock = {s: (1.0 - share) / len(others) for s in others}
+    clock[hot_sid] = share
+    return _load(svc, index, clock)
+
+
+class TestRebalancer:
+    def test_sustained_hot_shard_splits_with_hysteresis(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        reb = Rebalancer(svc, RebalancerConfig(sustain=2, cooldown=1))
+        sid = svc.table.shard_ids[0]
+        assert reb.observe(_skewed(svc, 0, sid)) == []        # streak 1
+        decisions = reb.observe(_skewed(svc, 1, sid))         # streak 2
+        assert [d.action for d in decisions] == ["split"]
+        assert decisions[0].source == (sid,)
+        assert svc.n_shards == 5
+        assert svc.topology_epoch == 1
+        # Cooldown window: even a hot signal does nothing.
+        hot2 = svc.table.shard_ids[-1]
+        assert reb.observe(_skewed(svc, 2, hot2)) == []
+        # Streaks were reset by the cooldown: sustain counts from zero.
+        assert reb.observe(_skewed(svc, 3, hot2)) == []
+        follow = reb.observe(_skewed(svc, 4, hot2))
+        assert [d.action for d in follow] == ["split"]
+        assert len(reb.log) == 2 and reb.log.n_splits == 2
+
+    def test_sustained_cold_pair_merges(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        ids = svc.table.shard_ids
+        cfg = RebalancerConfig(sustain=2, cooldown=0, max_shards=4)
+        reb = Rebalancer(svc, cfg)
+        clock = {ids[0]: 0.05, ids[1]: 0.05, ids[2]: 0.45, ids[3]: 0.45}
+        assert reb.observe(_load(svc, 0, clock)) == []        # streak 1
+        decisions = reb.observe(_load(svc, 1, clock))         # streak 2
+        assert [d.action for d in decisions] == ["merge"]
+        assert decisions[0].source == (ids[0], ids[1])
+        assert svc.n_shards == 3
+        assert reb.log.n_merges == 1
+
+    def test_min_shards_floor_blocks_merge(self, wide_relation):
+        svc = _wide_service(wide_relation, n_shards=2)
+        ids = svc.table.shard_ids
+        reb = Rebalancer(svc, RebalancerConfig(sustain=1, cooldown=0,
+                                               min_shards=2))
+        cold = _load(svc, 0, {ids[0]: 0.01, ids[1]: 0.01})
+        assert reb.observe(cold) == []
+        assert svc.n_shards == 2
+
+    def test_zero_clock_window_is_ignored(self, wide_relation):
+        svc = _wide_service(wide_relation)
+        reb = Rebalancer(svc, RebalancerConfig(sustain=1, cooldown=0))
+        idle = _load(svc, 0, {sid: 0.0 for sid in svc.table.shard_ids})
+        assert reb.observe(idle) == []
+        assert len(reb.log) == 0
+
+    def test_elastic_run_splits_under_moving_hotspot(self, wide_relation):
+        trace = generate_trace(wide_relation, "pk", mix="read_heavy",
+                               n_ops=4096, skew="hotspot", seed=5,
+                               phases=2, hotspot_width=0.2)
+        svc = _wide_service(wide_relation)
+        reb = Rebalancer(svc, RebalancerConfig(sustain=1, cooldown=0,
+                                               max_shards=12))
+        report = run_elastic_service(svc, trace, CONFIG, rebalancer=reb,
+                                     window_ops=512)
+        assert report.n_ops == len(trace)
+        assert len(report.results) == len(trace)
+        assert report.final_epoch > 0 and len(report.log) > 0
+        assert report.final_shards == svc.n_shards
+        assert report.owners.size == len(trace)
+        # Every owner is a stable id that existed at dispatch time; the
+        # windows account every op exactly once.
+        assert sum(w.total_ops for w in report.windows.windows) \
+            == len(trace)
+
+    def test_elastic_static_replay_matches_run_service(self, wide_relation):
+        """With no rebalancer the windowed loop is just a chunked replay:
+        per-op results equal the one-shot service harness."""
+        trace = generate_trace(wide_relation, "pk", mix="balanced",
+                               n_ops=1500, seed=11)
+        a = _wide_service(wide_relation)
+        want = run_service(a, trace, CONFIG).results
+        b = _wide_service(wide_relation)
+        report = run_elastic_service(b, trace, CONFIG, window_ops=256)
+        assert report.results == want
+        assert report.final_epoch == 0
+
+
+class TestQueueingModel:
+    def test_fifo_backlog_on_one_shard(self):
+        owners = np.zeros(3, dtype=np.int64)
+        svc = np.array([1.0, 1.0, 1.0])
+        resp = queued_response_times(owners, svc, arrival_rate=1e9)
+        assert np.allclose(resp, [1.0, 2.0, 3.0])
+
+    def test_independent_shards_do_not_queue_each_other(self):
+        owners = np.array([0, 1, 0, 1], dtype=np.int64)
+        resp = queued_response_times(owners, np.full(4, 1.0),
+                                     arrival_rate=1e9)
+        assert np.allclose(resp, [1.0, 1.0, 2.0, 2.0])
+
+    def test_low_rate_means_no_queueing(self):
+        owners = np.zeros(4, dtype=np.int64)
+        resp = queued_response_times(owners, np.full(4, 0.5),
+                                     arrival_rate=1.0)
+        assert np.allclose(resp, 0.5)
+
+    def test_load_window_hottest_and_balance(self):
+        w = LoadWindow(index=0, epoch=0, ops={1: 5, 2: 5},
+                       clock={1: 3.0, 2: 1.0})
+        assert w.hottest() == (1, 0.75)
+        assert w.load_balance == pytest.approx(1.5)   # max 3 over mean 2
+        tie = LoadWindow(index=0, epoch=0, ops={1: 1, 2: 1},
+                         clock={2: 1.0, 1: 1.0})
+        assert tie.hottest()[0] == 1                  # smallest id wins ties

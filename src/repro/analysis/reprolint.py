@@ -49,6 +49,14 @@ Rule classes (each id groups one class of project invariant):
     scalar unwrapping.  Use :func:`repro.api.results.as_scalar`, the one
     shared helper (this file's rule is what keeps it singular).
 
+``executor-confinement``
+    X1 — importing ``multiprocessing`` or ``concurrent.futures`` (any
+    submodule, any alias form) under ``src/`` outside
+    ``src/repro/service/executor.py``.  Parallel shard execution is a
+    pluggable, equivalence-tested layer (serial/thread/process
+    executors); an ad-hoc pool elsewhere bypasses the bit-identity,
+    stats-merge and drain-hook discipline that layer guarantees.
+
 ``format-discipline``
     On-disk index state has exactly one home: :mod:`repro.persist`,
     whose formats are framed, checksummed and atomically replaced.
@@ -183,6 +191,16 @@ def _in_topology_scope(relpath: str) -> bool:
     if not p.startswith("src/repro/service/"):
         return False
     return p.rsplit("/", 1)[-1] not in ("sharded.py", "routing.py")
+
+
+def _in_executor_scope(relpath: str) -> bool:
+    """X1 applies to library code outside the executor layer's home.
+
+    ``src/repro/service/executor.py`` owns parallel execution; tests
+    and benchmarks may drive workers directly.
+    """
+    p = _posix(relpath)
+    return p.startswith("src/") and p != "src/repro/service/executor.py"
 
 
 def _in_format_scope(relpath: str) -> bool:
@@ -393,6 +411,50 @@ def _check_shard_caching(tree: ast.Module, relpath: str) -> Iterator[Violation]:
                 )
 
 
+_PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
+
+
+def _parallel_module(name: str) -> str | None:
+    for mod in _PARALLEL_MODULES:
+        if name == mod or name.startswith(mod + "."):
+            return mod
+    return None
+
+
+def _check_executor_confinement(
+    tree: ast.Module, relpath: str
+) -> Iterator[Violation]:
+    """X1: parallel-execution primitives imported outside the executor.
+
+    Flags ``import multiprocessing``/``concurrent.futures`` (and any
+    submodule), ``from multiprocessing import ...``, and
+    ``from concurrent import futures`` — the executor layer is the one
+    place whose parallelism is equivalence-tested against serial.
+    """
+    if not _in_executor_scope(relpath):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            modules = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module is None:
+                continue
+            modules = [node.module]
+            if node.module == "concurrent":
+                modules.extend(f"concurrent.{a.name}" for a in node.names)
+        else:
+            continue
+        for mod in modules:
+            hit = _parallel_module(mod)
+            if hit is not None:
+                yield Violation(
+                    "executor-confinement", relpath, node.lineno,
+                    f"import of {mod} outside repro.service.executor; "
+                    "parallel shard execution is confined to the "
+                    "equivalence-tested executor layer (X1)",
+                )
+
+
 def _class_defs(tree: ast.Module) -> dict[str, tuple[list[str], set[str]]]:
     """Map class name -> (base names, locally defined method names)."""
     out: dict[str, tuple[list[str], set[str]]] = {}
@@ -502,6 +564,7 @@ def lint_source(source: str, relpath: str = "src/<snippet>.py") -> list[Violatio
     aliases = _collect_aliases(tree)
     violations = list(_check_calls(tree, relpath, aliases))
     violations.extend(_check_shard_caching(tree, relpath))
+    violations.extend(_check_executor_confinement(tree, relpath))
     if _in_protocol_scope(relpath):
         classes = _class_defs(tree)
         locations = {
@@ -545,6 +608,7 @@ def lint_files(paths: Iterable[Path], root: Path) -> list[Violation]:
         aliases = _collect_aliases(tree)
         violations.extend(_check_calls(tree, relpath, aliases))
         violations.extend(_check_shard_caching(tree, relpath))
+        violations.extend(_check_executor_confinement(tree, relpath))
         if _in_protocol_scope(relpath):
             for name, (bases, methods) in _class_defs(tree).items():
                 all_classes[name] = (bases, methods)

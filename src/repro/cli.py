@@ -329,6 +329,8 @@ def _serve_bench_rebalance(args, relation, column, trace, config,
             write_batch=False if args.no_write_batch else None,
             scan_batch=False if args.no_scan_batch else None,
             threads=args.threads,
+            executor=args.executor,
+            workers=args.workers,
         )
         reports.append(report)
         reads = LatencySummary.from_latencies(
@@ -424,6 +426,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             write_batch=False if args.no_write_batch else None,
             scan_batch=False if args.no_scan_batch else None,
             threads=args.threads,
+            executor=args.executor,
+            workers=args.workers,
         )
         reports.append(report)
         reads = report.latency("read")
@@ -617,7 +621,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "buffer into the vectorized range_scan_many "
                               "batch scan engine; same simulated results)")
     p_serve.add_argument("--threads", type=int, default=None,
-                         help="replay shards on a thread pool of this size")
+                         help="replay shards on a thread pool of this size "
+                              "(GIL-bound: overlap is limited to NumPy "
+                              "passes; use --executor process for "
+                              "core-count speedups)")
+    p_serve.add_argument("--executor", default=None,
+                         choices=["serial", "thread", "process"],
+                         help="shard execution model: serial (reference), "
+                              "thread (GIL-bound pool), or process "
+                              "(one forked worker per shard, shared-memory "
+                              "batches, true multi-core parallelism); "
+                              "default follows --threads")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="cap the process executor's worker pool "
+                              "(default: one worker per shard)")
     p_serve.add_argument("--rebalance", action="store_true",
                          help="attach the hot-shard Rebalancer: replay in "
                               "--window-ops windows, splitting sustained "

@@ -241,6 +241,8 @@ class ServiceReport:
     stats: ServiceStats
     write_batch: bool = True
     scan_batch: bool = True
+    executor: str = "serial"
+    workers: int | None = None
     results: list = field(repr=False, default_factory=list)
 
     @property
@@ -260,6 +262,8 @@ class ServiceReport:
             "write_batch": self.write_batch,
             "scan_batch": self.scan_batch,
             "threads": self.threads,
+            "executor": self.executor,
+            "workers": self.workers,
             **self.stats.to_dict(),
         }
 
@@ -274,6 +278,8 @@ def run_service(
     threads: int | None = None,
     write_batch: bool | None = None,
     scan_batch: bool | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> ServiceReport:
     """Replay a mixed workload trace through a sharded index service.
 
@@ -282,18 +288,24 @@ def run_service(
     through the vectorized probe engine unless ``batch=False``; inserts
     batched through the vectorized write engine; scans batched with the
     reads through the vectorized scan engine — ``write_batch`` and
-    ``scan_batch`` default to following ``batch``; ``threads`` enables
-    concurrent shard replay), and returns a :class:`ServiceReport`
-    whose :class:`ServiceStats` carries merged IOStats, per-op latency
-    percentiles, simulated makespan throughput (shards progress in
-    parallel, so the service finishes with its slowest shard) and
-    replay wall time.  All batch modes are bit-identical to per-op
-    dispatch in every simulated number.
+    ``scan_batch`` default to following ``batch``), and returns a
+    :class:`ServiceReport` whose :class:`ServiceStats` carries merged
+    IOStats, per-op latency percentiles, simulated makespan throughput
+    (shards progress in parallel, so the service finishes with its
+    slowest shard) and replay wall time.
+
+    ``executor`` picks the execution model — ``"serial"``, ``"thread"``
+    (GIL-bound; ``threads`` caps the pool) or ``"process"`` (one forked
+    worker per shard, capped at ``workers``; the one that scales with
+    cores).  ``None`` keeps the historical behavior of following
+    ``threads``.  All batch modes and executors are bit-identical to
+    per-op serial dispatch in every simulated number.
     """
     service.bind(config, warm=warm)
     router = Router(service, batch=batch, batch_size=batch_size,
                     threads=threads, write_batch=write_batch,
-                    scan_batch=scan_batch)
+                    scan_batch=scan_batch, executor=executor,
+                    workers=workers)
     try:
         results, stats = router.replay(trace)
     finally:
@@ -309,6 +321,8 @@ def run_service(
         write_batch=router.write_batch,
         scan_batch=router.scan_batch,
         threads=threads,
+        executor=router.executor.name,
+        workers=workers,
         stats=stats,
         results=results,
     )

@@ -33,6 +33,16 @@ and epoch, so the Router serves the exact tree the crashed process had
 acknowledged.  Version-1 manifests (pre-elasticity, ordinal-keyed) are
 still accepted: ids are synthesized as ``0..n-1`` at epoch 0, matching
 the directories version 1 wrote.
+
+Under the process executor (:mod:`repro.service.executor`), each
+shard's WAL appends happen inside the forked worker that owns the
+shard — the per-shard directory layout means no two processes ever
+append to the same log file.  The parent fsyncs every shard before
+forking, a worker fsyncs its shard's log before acknowledging each
+batch, and executor sync points (topology changes, drains, close)
+serialize the handoff back to the parent, so the on-disk WAL is
+always single-writer and an acked op is always durable no matter
+which process appended it.
 """
 
 from __future__ import annotations

@@ -5,9 +5,11 @@ one indexed column across N independent shards (each with its own
 device/clock/buffer-pool stack) under an epoch-versioned
 :class:`RoutingTable`, a :class:`Router` splits mixed read/insert/scan
 batches per shard and dispatches them through the vectorized batch-probe
-*and* batch-write engines (optionally on a thread pool), and
-:class:`ServiceStats` merges per-shard IOStats and folds per-op
-simulated latencies into p50/p95/p99 summaries.
+*and* batch-write engines on a pluggable :class:`ShardExecutor`
+(serial, GIL-bound threads, or true process-per-shard parallelism —
+see :mod:`repro.service.executor`), and :class:`ServiceStats` merges
+per-shard IOStats and folds per-op simulated latencies into
+p50/p95/p99 summaries.
 
 The topology is *dynamic*: ``split_shard``/``merge_shards`` reshape the
 partition layout live (stable shard ids, epoch bumps, Router drain hooks
@@ -21,6 +23,16 @@ range-partitioned, the rest run as a single-shard degenerate case —
 with no backend-specific branches in the service code.
 """
 
+from repro.service.executor import (
+    ExecutorError,
+    ProcessExecutor,
+    ReplayCore,
+    SerialExecutor,
+    ShardExecutor,
+    SubOp,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.service.rebalance import (
     ElasticReport,
     RebalanceDecision,
@@ -42,19 +54,27 @@ from repro.service.stats import (
 
 __all__ = [
     "ElasticReport",
+    "ExecutorError",
     "LatencySummary",
     "LoadWindow",
+    "ProcessExecutor",
     "RebalanceDecision",
     "RebalanceLog",
     "Rebalancer",
     "RebalancerConfig",
+    "ReplayCore",
     "RouteEntry",
     "Router",
     "RoutingTable",
+    "SerialExecutor",
     "ServiceStats",
     "Shard",
+    "ShardExecutor",
     "ShardedIndex",
+    "SubOp",
+    "ThreadExecutor",
     "WindowedLoad",
+    "make_executor",
     "queued_response_times",
     "run_elastic_service",
 ]

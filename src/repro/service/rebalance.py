@@ -322,6 +322,8 @@ def run_elastic_service(
     threads: int | None = None,
     write_batch: bool | None = None,
     scan_batch: bool | None = None,
+    executor: str | None = None,
+    workers: int | None = None,
 ) -> ElasticReport:
     """Replay ``trace`` in windows, letting ``rebalancer`` (if given)
     reshape the topology between windows.
@@ -329,12 +331,17 @@ def run_elastic_service(
     With ``rebalancer=None`` this is a windowed replay over a static
     topology — the control it is benchmarked against.  Results are
     per-op and aligned with the trace, exactly as
-    :meth:`Router.replay` returns them.
+    :meth:`Router.replay` returns them.  ``executor``/``workers``
+    select the shard-execution model (see
+    :mod:`repro.service.executor`); topology changes between windows
+    are exactly the control-plane sync points the process executor's
+    drain handling is built around.
     """
     service.bind(config, warm=warm)
     router = Router(service, batch=batch, batch_size=batch_size,
                     threads=threads, write_batch=write_batch,
-                    scan_batch=scan_batch)
+                    scan_batch=scan_batch, executor=executor,
+                    workers=workers)
     initial_shards = service.n_shards
     windows = WindowedLoad()
     log = rebalancer.log if rebalancer is not None else RebalanceLog()

@@ -1,7 +1,8 @@
 """Router: splits mixed-operation batches per shard and dispatches them.
 
 The router turns a :class:`~repro.workloads.mixed.MixedTrace` into
-per-shard work lists and replays them:
+per-shard work lists and hands them to a pluggable
+:class:`~repro.service.executor.ShardExecutor` for execution:
 
 * point reads are routed by key and **batched** — consecutive reads on
   one shard flow through the shard's vectorized ``search_many`` (the
@@ -33,63 +34,49 @@ Router registers a **drain hook** with the service for its lifetime:
 when a shard's range is about to migrate (``split_shard`` /
 ``merge_shards``), any buffered sub-ops for that shard are flushed to
 the *old* shard before the epoch flips — read-your-writes holds across
-live topology changes.  Should a buffered shard id nonetheless vanish
-(retired mid-replay), the flush falls back to service-level batch calls,
-which re-route each op by key under the new epoch.
+live topology changes (the process executor additionally tears down and
+resynchronizes its workers at the drain, and respawns them under the
+new epoch).  Should a buffered shard id nonetheless vanish (retired
+mid-replay), the flush falls back to service-level batch calls, which
+re-route each op by key under the new epoch.
 
 Per-shard operation order always follows trace order, so a read issued
 after an insert to the same shard observes it.  Because every shard owns
-a private tree, stack and clock, shards share no mutable state — the
-optional thread pool (``threads=N``) replays shards concurrently for
-real wall-clock overlap (NumPy filter passes release the GIL; the pure
--Python portions interleave), with results scattered back into trace
-order afterwards.  Live topology changes are a control-plane action:
-trigger them between replay calls (as the elastic control loop does) or
-from the replaying thread via a drain hook — not concurrently from
-another thread.
+a private tree, stack and clock, shards share no mutable state — which
+executor replays them is a pure deployment knob:
+
+===========  ==========================================================
+``serial``   One shard after another on the calling thread.  The
+             reference semantics; lowest overhead for small traces.
+``thread``   One thread per shard (``threads=N`` cap).  **GIL-bound**:
+             only NumPy filter passes overlap in wall-clock time; the
+             pure-Python replay portions time-slice one core.  Kept for
+             compatibility — do not expect core-count speedups.
+``process``  One long-lived forked worker per shard (``workers=N``
+             cap), batches shipped via shared memory.  Real multi-core
+             parallelism; the choice for throughput on ≥ 2 cores.
+===========  ==========================================================
+
+All three produce bit-identical results, IOStats and per-op simulated
+latencies (``tests/test_service.py::TestExecutorEquivalence``).  Live
+topology changes remain a control-plane action: trigger them between
+replay calls (as the elastic control loop does) or from the replaying
+thread via a drain hook — not concurrently from another thread.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from repro.api.results import RangeScanResult
+from repro.service.executor import ReplayCore, ShardExecutor, SubOp, make_executor
 from repro.service.sharded import ShardedIndex
 from repro.service.stats import ServiceStats
 from repro.storage.iostats import IOStats
 from repro.workloads.mixed import OP_INSERT, OP_READ, OP_SCAN, MixedTrace
-
-
-@dataclass(frozen=True)
-class _SubOp:
-    """One shard-local unit of work derived from a trace operation."""
-
-    op_index: int
-    code: int
-    key: Any
-    tid: int = -1
-    sub_lo: Any = None
-    sub_hi: Any = None
-
-
-@dataclass
-class _ShardSession:
-    """Replay state for one shard, keyed by its stable id.
-
-    Holding the *id* (not the Shard object) is what lets the drain hook
-    and the flush paths resolve the current owner through the routing
-    table at dispatch time.
-    """
-
-    sid: int
-    out: list[tuple[int, int, float, Any]] = field(default_factory=list)
-    read_buffer: list[_SubOp] = field(default_factory=list)
-    write_buffer: list[_SubOp] = field(default_factory=list)
 
 
 class Router:
@@ -103,11 +90,16 @@ class Router:
         threads: int | None = None,
         write_batch: bool | None = None,
         scan_batch: bool | None = None,
+        executor: str | ShardExecutor | None = None,
+        workers: int | None = None,
     ) -> None:
         """``batch`` controls read batching; ``write_batch`` controls
         insert batching and ``scan_batch`` controls scan batching — both
-        default to following ``batch``.  All modes produce bit-identical
-        simulated results to per-op dispatch."""
+        default to following ``batch``.  ``executor`` picks the
+        execution model (``"serial"``/``"thread"``/``"process"`` or a
+        prebuilt :class:`ShardExecutor`); ``None`` keeps the historical
+        behavior of following ``threads``.  All modes produce
+        bit-identical simulated results to per-op dispatch."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if threads is not None and threads < 1:
@@ -118,24 +110,42 @@ class Router:
         self.threads = threads
         self.write_batch = batch if write_batch is None else write_batch
         self.scan_batch = batch if scan_batch is None else scan_batch
-        #: Live replay sessions by stable shard id (drain-hook target).
-        self._sessions: dict[int, _ShardSession] = {}
+        self._core = ReplayCore(
+            service,
+            batch=self.batch,
+            batch_size=self.batch_size,
+            write_batch=self.write_batch,
+            scan_batch=self.scan_batch,
+        )
+        self.executor = make_executor(executor, threads=threads,
+                                      workers=workers)
+        self.executor.attach(self._core)
         service.register_drain_hook(self._drain)
 
     def close(self) -> None:
-        """Unregister the drain hook (call when done with this Router)."""
+        """Unregister the drain hook and release executor resources
+        (worker processes for the process executor — which also folds
+        any outstanding worker state back into the service, so call
+        this before checkpointing or unbinding)."""
         self.service.unregister_drain_hook(self._drain)
+        self.executor.close()
+
+    def _drain(self, sid: int) -> None:
+        """Service drain hook: a topology change is about to retire
+        shard ``sid`` — flush everything buffered for it to the old
+        shard while the old routing epoch is still current."""
+        self.executor.drain(sid)
 
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, trace: MixedTrace) -> list[list[_SubOp]]:
+    def plan(self, trace: MixedTrace) -> list[list[SubOp]]:
         """Split the trace into per-shard sub-op lists (trace order kept).
 
         List positions are the *current epoch's* shard ordinals; replay
         resolves them to stable ids immediately, before any dispatch.
         """
-        per_shard: list[list[_SubOp]] = [[] for _ in self.service.shards]
+        per_shard: list[list[SubOp]] = [[] for _ in self.service.shards]
         assign = self.service.route(trace.keys)
         # Scan legs are planned for the whole trace in one vectorized
         # pass (both window endpoints routed batch-wise), then spliced
@@ -155,15 +165,15 @@ class Router:
             code = int(trace.ops[i])
             key = trace.keys[i].item()
             if code == OP_READ:
-                per_shard[assign[i]].append(_SubOp(i, code, key))
+                per_shard[assign[i]].append(SubOp(i, code, key))
             elif code == OP_INSERT:
                 per_shard[assign[i]].append(
-                    _SubOp(i, code, key, tid=int(trace.tids[i]))
+                    SubOp(i, code, key, tid=int(trace.tids[i]))
                 )
             else:  # OP_SCAN: one leg per overlapping shard
                 for s, sub_lo, sub_hi in scan_legs[i]:
                     per_shard[s].append(
-                        _SubOp(i, code, key, sub_lo=sub_lo, sub_hi=sub_hi)
+                        SubOp(i, code, key, sub_lo=sub_lo, sub_hi=sub_hi)
                     )
         return per_shard
 
@@ -196,16 +206,7 @@ class Router:
         retired_io0 = service.retired_io.snapshot()
         retired_clock0 = service.retired_clock
         t0 = time.perf_counter()
-        if self.threads is not None and len(sids) > 1:
-            with ThreadPoolExecutor(max_workers=self.threads) as pool:
-                outcomes = list(
-                    pool.map(self._replay_shard, sids, per_shard)
-                )
-        else:
-            outcomes = [
-                self._replay_shard(sid, subops)
-                for sid, subops in zip(sids, per_shard)
-            ]
+        outcomes = self.executor.run(list(zip(sids, per_shard)))
         wall_secs = time.perf_counter() - t0
 
         results: list[Any] = [None] * len(trace)
@@ -259,173 +260,3 @@ class Router:
             epoch=service.topology_epoch,
         )
         return results, stats
-
-    # ------------------------------------------------------------------
-    # per-shard dispatch (buffers keyed by stable shard id)
-    # ------------------------------------------------------------------
-    def _replay_shard(
-        self, sid: int, subops: list[_SubOp]
-    ) -> list[tuple[int, int, float, Any]]:
-        """Run one shard's sub-ops in order; return (op_index, code,
-        latency, result) records (thread-confined, merged by replay)."""
-        session = _ShardSession(sid=sid)
-        self._sessions[sid] = session
-        try:
-            # At most one buffer is ever non-empty: an op of the other
-            # phase flushes it first, which keeps per-shard trace order
-            # (a read or scan issued after an insert observes it, and
-            # vice versa).  Reads and scans share the read phase — only
-            # writes fence it.
-            for op in subops:
-                if op.code == OP_READ:
-                    self._flush_writes(session)
-                    session.read_buffer.append(op)
-                elif op.code == OP_INSERT:
-                    self._flush_reads(session)
-                    session.write_buffer.append(op)
-                elif op.code == OP_SCAN and self.scan_batch:
-                    self._flush_writes(session)
-                    session.read_buffer.append(op)
-                elif op.code == OP_SCAN:
-                    self._flush_reads(session)
-                    self._flush_writes(session)
-                    self._scalar_scan(session, op)
-                else:
-                    # Fail loudly: a new op code buffered as if it were
-                    # a scan would be silently dropped by _flush_reads.
-                    raise ValueError(f"unknown op code {op.code}")
-            self._flush_reads(session)
-            self._flush_writes(session)
-        finally:
-            self._sessions.pop(sid, None)
-        return session.out
-
-    def _drain(self, sid: int) -> None:
-        """Service drain hook: a topology change is about to retire
-        shard ``sid`` — flush everything buffered for it to the old
-        shard while the old routing epoch is still current."""
-        session = self._sessions.get(sid)
-        if session is None:
-            return
-        self._flush_reads(session)
-        self._flush_writes(session)
-
-    # ------------------------------------------------------------------
-    def _flush_reads(self, session: _ShardSession) -> None:
-        # The read-phase buffer holds point reads and (with scan
-        # batching) scan legs: both are read-only, so each chunk can
-        # dispatch its reads and its scans as two sub-batches — every
-        # charge on the read path declares its access pattern
-        # explicitly, so the relative order cannot change any simulated
-        # number.
-        buffer = session.read_buffer
-        if not buffer:
-            return
-        service = self.service
-        shard = service.shard_by_id(session.sid)
-        out = session.out
-        for start in range(0, len(buffer), self.batch_size):
-            chunk = buffer[start : start + self.batch_size]
-            reads = [op for op in chunk if op.code == OP_READ]
-            scans = [op for op in chunk if op.code == OP_SCAN]
-            if reads and (shard is None or self.batch):
-                sink: list[float] = []
-                if shard is None:
-                    # Shard retired mid-replay: re-route by key under
-                    # the current epoch.
-                    chunk_results: list[Any] = list(service.search_many(
-                        [op.key for op in reads], latency_sink=sink
-                    ))
-                else:
-                    chunk_results = list(shard.index.search_many(
-                        [op.key for op in reads], latency_sink=sink
-                    ))
-                for op, latency, result in zip(reads, sink, chunk_results):
-                    out.append((op.op_index, op.code, latency, result))
-            elif reads:
-                assert shard is not None and shard.stack is not None
-                clock = shard.stack.clock
-                for op in reads:
-                    begin = clock.now()
-                    result = shard.index.search(op.key)
-                    out.append(
-                        (op.op_index, op.code, clock.now() - begin, result)
-                    )
-            if scans:
-                scan_sink: list[float] = []
-                if shard is None:
-                    # Re-plan each leg's sub-window across the new
-                    # topology; the legs still partition the original
-                    # scan window, so merged counts stay exact.
-                    scan_results = service.range_scan_many(
-                        [(op.sub_lo, op.sub_hi) for op in scans],
-                        latency_sink=scan_sink,
-                    )
-                else:
-                    scan_results = shard.index.range_scan_many(
-                        [(op.sub_lo, op.sub_hi) for op in scans],
-                        latency_sink=scan_sink,
-                    )
-                for op, latency, result in zip(scans, scan_sink,
-                                               scan_results):
-                    out.append((op.op_index, op.code, latency, result))
-        buffer.clear()
-
-    def _flush_writes(self, session: _ShardSession) -> None:
-        buffer = session.write_buffer
-        if not buffer:
-            return
-        service = self.service
-        shard = service.shard_by_id(session.sid)
-        out = session.out
-        for start in range(0, len(buffer), self.batch_size):
-            chunk = buffer[start : start + self.batch_size]
-            if shard is None:
-                # Shard retired mid-replay: re-route by key under the
-                # current epoch.
-                sink: list[float] = []
-                service.insert_many(
-                    [op.key for op in chunk],
-                    [op.tid for op in chunk],
-                    latency_sink=sink,
-                )
-                for op, latency in zip(chunk, sink):
-                    out.append((op.op_index, op.code, latency, None))
-            elif self.write_batch:
-                sink = []
-                service.insert_many_on(
-                    shard,
-                    [op.key for op in chunk],
-                    [op.tid for op in chunk],
-                    latency_sink=sink,
-                )
-                for op, latency in zip(chunk, sink):
-                    out.append((op.op_index, op.code, latency, None))
-            else:
-                assert shard.stack is not None
-                clock = shard.stack.clock
-                for op in chunk:
-                    begin = clock.now()
-                    service.insert_on(shard, op.key, op.tid)
-                    out.append(
-                        (op.op_index, op.code, clock.now() - begin, None)
-                    )
-        buffer.clear()
-
-    def _scalar_scan(self, session: _ShardSession, op: _SubOp) -> None:
-        service = self.service
-        shard = service.shard_by_id(session.sid)
-        if shard is None:
-            sink: list[float] = []
-            result = service.range_scan_many(
-                [(op.sub_lo, op.sub_hi)], latency_sink=sink
-            )[0]
-            session.out.append((op.op_index, op.code, sink[0], result))
-            return
-        assert shard.stack is not None
-        clock = shard.stack.clock
-        begin = clock.now()
-        result = shard.index.range_scan(op.sub_lo, op.sub_hi)
-        session.out.append(
-            (op.op_index, op.code, clock.now() - begin, result)
-        )

@@ -62,8 +62,10 @@ remains exact.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -299,6 +301,32 @@ class ShardedIndex:
         land buffered writes on a wrapper before unwrapping it."""
         for hook in list(self._drain_hooks):
             hook(shard_id)
+
+    @contextmanager
+    def suspended_charges(self, shard_id: int) -> Iterator[None]:
+        """Run state-reconstruction work against one shard without
+        leaving a trace in its counters.
+
+        The process executor merges a worker's IOStats/clock deltas as
+        batches are acknowledged; when it later replays the same batches
+        in the parent to rebuild the in-memory structures (tree, buffer
+        pool residency), the replay's charges would double-count.  This
+        snapshots the shard's stats and clock on entry and restores both
+        on exit, so the replayed work changes state but not books."""
+        shard = self._by_id.get(shard_id)
+        stack = shard.stack if shard is not None else None
+        if stack is None:
+            yield
+            return
+        keep_io = stack.stats.snapshot()
+        keep_clock = stack.clock.now()
+        try:
+            yield
+        finally:
+            for f in dataclass_fields(keep_io):
+                setattr(stack.stats, f.name, getattr(keep_io, f.name))
+            stack.clock.reset()
+            stack.clock.advance(keep_clock)
 
     def _retire_stack(self, shard: Shard) -> None:
         """Absorb a to-be-discarded shard's charged work into the

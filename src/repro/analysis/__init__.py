@@ -2,9 +2,12 @@
 
 Two complementary halves:
 
-* :mod:`repro.analysis.reprolint` — AST-based static lint rules encoding
-  the invariants every PR so far has hand-enforced (charge discipline,
-  protocol discipline, seed discipline, numpy-scalar hygiene).
+* :mod:`repro.analysis.lint` — reprolint, the static-analysis engine:
+  per-function CFGs with dominance and a small dataflow framework drive
+  ordering rules (WAL-before-apply, commit-point-last, fsync-before-
+  ack), epoch/suspension discipline and resource-lifecycle checks, on
+  top of the ported pattern rules (charge, protocol, seed, scalar,
+  format, confinement discipline).
 * :mod:`repro.analysis.sanitize` — runtime structural validators for the
   BF-Tree, B+-Tree, FD-Tree and sharded-service state, switched on with
   ``REPRO_SANITIZE=1`` or ``--sanitize``.
@@ -13,7 +16,7 @@ Neither half imports the rest of the package at module level, so both
 can be wired into low-level modules without import cycles.
 """
 
-from repro.analysis.reprolint import Violation, lint_repo, lint_source
+from repro.analysis.lint import Violation, lint_files, lint_repo, lint_source
 from repro.analysis.sanitize import (
     StructuralCorruption,
     check_bplus,
@@ -27,6 +30,7 @@ from repro.analysis.sanitize import (
 
 __all__ = [
     "Violation",
+    "lint_files",
     "lint_repo",
     "lint_source",
     "StructuralCorruption",

@@ -1,0 +1,47 @@
+"""reprolint v2: a CFG/dataflow lint engine for the repro codebase.
+
+Public surface:
+
+* :func:`lint_repo` / :func:`lint_files` / :func:`lint_source` — run the
+  engine (see :mod:`repro.analysis.lint.engine`);
+* :class:`Violation` and the :data:`RULES` registry — findings and the
+  rule catalog (see :mod:`repro.analysis.lint.base`);
+* renderers in :mod:`repro.analysis.lint.output` and the baseline
+  helpers in :mod:`repro.analysis.lint.baseline`, re-exported for the
+  CLI.
+
+Rule semantics live in :mod:`repro.analysis.lint.rules_ast` (ported
+pattern rules) and :mod:`repro.analysis.lint.rules_flow` (dominance and
+dataflow rules over :mod:`repro.analysis.lint.cfg`).
+"""
+
+from repro.analysis.lint.base import FLOW_IDS, PORTED_IDS, RULES, Violation
+from repro.analysis.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.engine import (
+    default_targets,
+    lint_files,
+    lint_repo,
+    lint_source,
+)
+from repro.analysis.lint.output import render_json, render_sarif, render_text
+
+__all__ = [
+    "FLOW_IDS",
+    "PORTED_IDS",
+    "RULES",
+    "Violation",
+    "apply_baseline",
+    "default_targets",
+    "lint_files",
+    "lint_repo",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "write_baseline",
+]

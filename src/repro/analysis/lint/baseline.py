@@ -1,0 +1,66 @@
+"""The committed lint baseline.
+
+A baseline entry identifies a finding by ``(rule, path, message)`` —
+deliberately **not** by line number, so unrelated edits above a
+baselined finding do not resurrect it.  Each entry absorbs one matching
+finding per occurrence recorded (the file stores a multiset).
+
+``repro lint --write-baseline`` snapshots the current findings;
+``repro lint`` (with the file present) reports only findings that are
+not absorbed.  The intended workflow is a one-time snapshot when
+adopting a new rule, then burning entries down — the baseline file is
+committed, so its diff *is* the review surface.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.lint.base import Violation
+
+_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(v: Violation) -> _Key:
+    return (v.rule, v.path, v.message)
+
+
+def load_baseline(path: Path) -> Counter[_Key]:
+    """Load the baseline multiset; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Counter()
+    data = json.loads(path.read_text("utf-8"))
+    entries: Counter[_Key] = Counter()
+    for item in data.get("findings", []):
+        entries[(str(item["rule"]), str(item["path"]),
+                 str(item["message"]))] += 1
+    return entries
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: Counter[_Key]
+) -> list[Violation]:
+    """Findings not absorbed by the baseline, in input order."""
+    remaining = Counter(baseline)
+    kept: list[Violation] = []
+    for v in violations:
+        k = _key(v)
+        if remaining.get(k, 0) > 0:
+            remaining[k] -= 1
+            continue
+        kept.append(v)
+    return kept
+
+
+def write_baseline(violations: list[Violation], path: Path) -> None:
+    """Snapshot the given findings as the new baseline."""
+    findings = [
+        {"rule": v.rule, "path": v.path, "message": v.message}
+        for v in sorted(violations, key=Violation.sort_key)
+    ]
+    payload = {"version": _VERSION, "findings": findings}
+    path.write_text(json.dumps(payload, indent=2) + "\n", "utf-8")

@@ -1,0 +1,64 @@
+"""A small forward dataflow framework over :mod:`.cfg` graphs.
+
+States are immutable mappings ``var -> int`` (rules encode their
+lattices as small ints); the framework runs the standard worklist
+fixpoint with a rule-supplied, **edge-kind-sensitive** transfer
+function.  Edge sensitivity is what lets resource rules model "the
+creating call raised, so nothing was created" on the exception edge out
+of the creation statement while the normal edge carries the freshly
+OPEN resource.
+
+The join must be monotone w.r.t. the rule's lattice order; rules here
+all use "max wins" joins over totally-ordered per-variable states, which
+trivially converges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.analysis.lint.cfg import CFG, Node
+
+#: Immutable per-program-point state: variable name -> lattice value.
+State = Mapping[str, int]
+
+#: transfer(node, in_state, edge_kind) -> out_state along that edge.
+Transfer = Callable[[Node, State, str], State]
+
+
+def join_max(a: State, b: State) -> dict[str, int]:
+    """Pointwise max of two states (absent = bottom = not tracked)."""
+    out = dict(a)
+    for var, val in b.items():
+        if out.get(var, -1) < val:
+            out[var] = val
+    return out
+
+
+def forward(cfg: CFG, transfer: Transfer,
+            entry_state: State | None = None) -> list[dict[str, int]]:
+    """Run the forward fixpoint; returns the in-state of every node."""
+    n = len(cfg.nodes)
+    in_states: list[dict[str, int]] = [{} for _ in range(n)]
+    if entry_state is not None:
+        in_states[cfg.entry] = dict(entry_state)
+    # Every reachable node must be *processed* at least once even if its
+    # in-state never moves off bottom — its transfer may still generate
+    # facts for successors.  Seed the worklist with all of them, in
+    # reverse postorder so most facts flow in one sweep.
+    work = list(reversed(cfg.reverse_postorder()))
+    in_work = set(work)
+    while work:
+        idx = work.pop()
+        in_work.discard(idx)
+        node = cfg.nodes[idx]
+        state = in_states[idx]
+        for succ, kind in cfg.succs[idx].items():
+            out = transfer(node, state, kind)
+            merged = join_max(in_states[succ], out)
+            if merged != in_states[succ]:
+                in_states[succ] = merged
+                if succ not in in_work:
+                    in_work.add(succ)
+                    work.append(succ)
+    return in_states

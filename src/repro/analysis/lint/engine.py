@@ -1,0 +1,159 @@
+"""The lint driver: file discovery, rule dispatch, suppressions,
+baseline, deterministic ordering.
+
+Pipeline per run::
+
+    discover -> parse (PE on SyntaxError) -> ProjectIndex
+             -> ported AST rules + CFG/dataflow rules (per file)
+             -> cross-file rules (P2, P3)
+             -> per-line suppressions (U1/U2/U3 hygiene findings)
+             -> optional `only` rule filter -> baseline -> sort
+
+Findings are always sorted by ``(path, line, rule id)`` so output is
+diffable and the baseline file is stable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.lint import baseline as _baseline
+from repro.analysis.lint import rules_ast, rules_flow
+from repro.analysis.lint.base import Violation, posix
+from repro.analysis.lint.suppress import (
+    Suppression,
+    apply_suppressions,
+    collect_suppressions,
+)
+from repro.analysis.lint.symbols import FileUnit, ProjectIndex
+
+#: Top-level directories a whole-repo run covers.
+TARGET_DIRS = ("src", "tests", "benchmarks", "examples")
+
+#: The file whose presence enables the P3 registry cross-check.
+_BACKENDS_REL = "src/repro/api/backends.py"
+
+
+def default_targets(root: Path) -> list[Path]:
+    """Every lintable ``.py`` file under the standard target dirs."""
+    files: list[Path] = []
+    for sub in TARGET_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        files.extend(sorted(
+            p for p in base.rglob("*.py") if not _skipped(p)
+        ))
+    return files
+
+
+def _skipped(path: Path) -> bool:
+    return any(
+        part == "__pycache__" or part.startswith(".")
+        for part in path.parts
+    )
+
+
+def _relpath(path: Path, root: Path) -> str:
+    return posix(os.path.relpath(os.path.abspath(str(path)), str(root)))
+
+
+def lint_files(
+    paths: list[Path],
+    root: Path,
+    *,
+    only: frozenset[str] | None = None,
+    baseline_path: Path | None = None,
+) -> list[Violation]:
+    """Lint the given files (paths absolute or relative to ``root``)."""
+    units: list[FileUnit] = []
+    violations: list[Violation] = []
+    supp_by_file: dict[str, dict[int, Suppression]] = {}
+    for path in paths:
+        abs_path = path if path.is_absolute() else root / path
+        rel = _relpath(abs_path, root)
+        try:
+            source = abs_path.read_text("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            violations.append(Violation(
+                "PE", "parse-error", rel, 0, f"unreadable: {exc}"))
+            continue
+        try:
+            unit = FileUnit.parse(rel, source)
+        except SyntaxError as exc:
+            violations.append(Violation(
+                "PE", "parse-error", rel, exc.lineno or 0,
+                f"does not parse: {exc.msg}"))
+            continue
+        units.append(unit)
+        active, meta = collect_suppressions(source, rel)
+        supp_by_file[rel] = active
+        violations.extend(meta)
+
+    project = ProjectIndex(units)
+    for unit in units:
+        violations.extend(rules_ast.check_file(unit))
+        violations.extend(rules_flow.check_file(unit, project))
+    # P3 needs the repo on disk; only meaningful when the registry file
+    # is part of this run (always true for whole-repo runs).
+    p3_root = (
+        root if any(u.relpath == _BACKENDS_REL for u in units) else None
+    )
+    violations.extend(rules_ast.check_project(project, p3_root))
+
+    return _finalize(violations, supp_by_file, only=only,
+                     baseline_path=baseline_path)
+
+
+def lint_repo(
+    root: Path,
+    *,
+    only: frozenset[str] | None = None,
+    baseline_path: Path | None = None,
+) -> list[Violation]:
+    """Whole-repo run over ``src/``, ``tests/``, ``benchmarks/``,
+    ``examples/``."""
+    return lint_files(default_targets(root), root, only=only,
+                      baseline_path=baseline_path)
+
+
+def lint_source(
+    source: str,
+    relpath: str = "src/repro/snippet.py",
+    *,
+    only: frozenset[str] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory source (tests and tooling; rule scoping still
+    keys off ``relpath``)."""
+    rel = posix(relpath)
+    try:
+        unit = FileUnit.parse(rel, source)
+    except SyntaxError as exc:
+        return [Violation("PE", "parse-error", rel, exc.lineno or 0,
+                          f"does not parse: {exc.msg}")]
+    project = ProjectIndex([unit])
+    violations = list(rules_ast.check_file(unit))
+    violations.extend(rules_flow.check_file(unit, project))
+    violations.extend(rules_ast.check_project(project, None))
+    active, meta = collect_suppressions(source, rel)
+    violations.extend(meta)
+    return _finalize(violations, {rel: active}, only=only,
+                     baseline_path=None)
+
+
+def _finalize(
+    violations: list[Violation],
+    supp_by_file: dict[str, dict[int, Suppression]],
+    *,
+    only: frozenset[str] | None,
+    baseline_path: Path | None,
+) -> list[Violation]:
+    kept, unused = apply_suppressions(violations, supp_by_file)
+    kept.extend(unused)
+    if only is not None:
+        kept = [v for v in kept if v.rule in only]
+    if baseline_path is not None:
+        kept = _baseline.apply_baseline(
+            kept, _baseline.load_baseline(baseline_path))
+    return sorted(kept, key=Violation.sort_key)

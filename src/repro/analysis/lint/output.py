@@ -1,0 +1,102 @@
+"""Finding renderers: text (one line per finding), JSON, SARIF 2.1.0.
+
+The SARIF document carries the full rule table from
+:data:`repro.analysis.lint.base.RULES` so viewers (GitHub code
+scanning, VS Code SARIF explorer) can show the rule description next to
+each result without a side channel.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.base import RULES, Violation
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemas/sarif-schema-2.1.0.json"
+)
+
+#: Suppression-hygiene findings are advisory; everything else is an
+#: invariant violation.
+_WARNING_RULES = frozenset({"U1", "U2", "U3"})
+
+
+def render_text(violations: list[Violation]) -> str:
+    lines = [v.format() for v in violations]
+    n = len(violations)
+    lines.append(f"reprolint: {n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(violations: list[Violation]) -> str:
+    payload = {
+        "findings": [
+            {
+                "rule": v.rule,
+                "category": v.category,
+                "path": v.path,
+                "line": v.line,
+                "message": v.message,
+            }
+            for v in violations
+        ]
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _level(rule: str) -> str:
+    return "warning" if rule in _WARNING_RULES else "error"
+
+
+def render_sarif(violations: list[Violation]) -> str:
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": _level(rule_id)},
+            "properties": {"category": category},
+        }
+        for rule_id, (category, description) in sorted(RULES.items())
+    ]
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": _level(v.rule),
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, v.line)},
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri":
+                            "https://example.invalid/repro#reprolint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2) + "\n"

@@ -1,0 +1,128 @@
+"""Per-line suppression comments.
+
+Syntax (one comment, end of the flagged line)::
+
+    x = risky()  # reprolint: disable=D1 -- intentional: see docstring
+
+* ``disable=`` takes one or more comma-separated rule ids;
+* the ``-- reason`` is **mandatory** — a directive without one does not
+  suppress anything and is itself reported (``U2``);
+* a directive naming an unknown id is reported (``U3``);
+* a directive (or id within one) that matched no finding is reported
+  (``U1``) so stale suppressions cannot silently accumulate.
+
+Directives are found with :mod:`tokenize`, not regexes, so directive
+look-alikes inside string literals (the lint test-suite is full of
+them) are never misread as live suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.base import RULES, Violation
+
+_PREFIX = "reprolint:"
+_DISABLE = "disable="
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# reprolint: disable=...`` directive."""
+
+    relpath: str
+    line: int
+    ids: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+
+def collect_suppressions(
+    source: str, relpath: str
+) -> tuple[dict[int, Suppression], list[Violation]]:
+    """Parse every directive in ``source``.
+
+    Returns ``(line -> active suppression, hygiene findings)`` — a
+    directive missing its reason or naming unknown ids contributes to
+    the findings instead of (respectively: in addition to) the map.
+    """
+    active: dict[int, Suppression] = {}
+    meta: list[Violation] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, []
+    for line, comment in comments:
+        body = comment.lstrip("#").strip()
+        if not body.startswith(_PREFIX):
+            continue
+        body = body[len(_PREFIX):].strip()
+        if "--" in body:
+            spec, reason = body.split("--", 1)
+            reason = reason.strip()
+        else:
+            spec, reason = body, ""
+        spec = spec.strip()
+        if not spec.startswith(_DISABLE):
+            verb = spec.split()[0] if spec.split() else "<empty>"
+            meta.append(Violation(
+                "U3", "suppression", relpath, line,
+                f"unrecognized reprolint directive {verb!r}; only "
+                "'disable=<ID>[,<ID>] -- <reason>' is supported",
+            ))
+            continue
+        ids = tuple(
+            s.strip() for s in spec[len(_DISABLE):].split(",") if s.strip()
+        )
+        known = tuple(i for i in ids if i in RULES)
+        for unknown in (i for i in ids if i not in RULES):
+            meta.append(Violation(
+                "U3", "suppression", relpath, line,
+                f"suppression names unknown rule id {unknown!r}",
+            ))
+        if not reason:
+            meta.append(Violation(
+                "U2", "suppression", relpath, line,
+                "suppression lacks the mandatory '-- <reason>'; the "
+                "findings on this line are NOT suppressed",
+            ))
+            continue
+        if known:
+            active[line] = Suppression(relpath=relpath, line=line,
+                                       ids=known, reason=reason)
+    return active, meta
+
+
+def apply_suppressions(
+    violations: list[Violation],
+    by_file: dict[str, dict[int, Suppression]],
+) -> tuple[list[Violation], list[Violation]]:
+    """Drop suppressed findings; report unused directives.
+
+    Returns ``(kept findings, U1 findings for unused directive ids)``.
+    """
+    kept: list[Violation] = []
+    for v in violations:
+        supp = by_file.get(v.path, {}).get(v.line)
+        if supp is not None and v.rule in supp.ids:
+            supp.used.add(v.rule)
+            continue
+        kept.append(v)
+    unused: list[Violation] = []
+    for table in by_file.values():
+        for supp in table.values():
+            for rule_id in supp.ids:
+                if rule_id not in supp.used:
+                    unused.append(Violation(
+                        "U1", "suppression", supp.relpath, supp.line,
+                        f"suppression of {rule_id} matched no finding on "
+                        "this line; delete the stale directive",
+                    ))
+    return kept, unused

@@ -1,6 +1,6 @@
 """Runtime structural sanitizer for index and service state.
 
-Static lint (:mod:`repro.analysis.reprolint`) guards the source; this
+Static lint (:mod:`repro.analysis.lint`) guards the source; this
 module guards the *objects*.  Each ``check_*`` function walks one
 structure — pure Python traversal, no device charges, so enabling it
 never perturbs IOStats or the simulated clock — and raises
@@ -93,7 +93,7 @@ def _fail(structure: str, message: str) -> None:
     raise StructuralCorruption(f"{structure}: {message}")
 
 
-def _walk_chain(structure: str, leaves_by_id: dict) -> list:
+def _walk_chain(structure: str, leaves_by_id: dict[int, Any]) -> list[Any]:
     """Strictly validate a doubly-linked leaf chain; return it in order."""
     if not leaves_by_id:
         return []
@@ -246,7 +246,8 @@ def check_bplus(tree: Any) -> None:
 # FD-Tree
 
 
-def _check_sorted_run(name: str, label: str, run: Iterable[tuple]) -> None:
+def _check_sorted_run(name: str, label: str,
+                      run: Iterable[tuple[Any, int]]) -> None:
     run = list(run)
     if any(b < a for a, b in zip(run, run[1:])):
         _fail(name, f"{label} is not sorted")
@@ -283,7 +284,8 @@ def check_fd(fd: Any) -> None:
             start = end
 
 
-def _check_tombstones(name: str, label: str, run: list, fd: Any) -> None:
+def _check_tombstones(name: str, label: str, run: Iterable[tuple[Any, int]],
+                      fd: Any) -> None:
     ntuples = None if fd.relation is None else fd.relation.ntuples
     for key, t in run:
         victim = -t - 1 if t < 0 else t

@@ -478,23 +478,94 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_py_files(root: "Path", base: str | None) -> list[str] | None:
+    """Lintable files changed since the merge-base with ``base``.
+
+    Returns None when git (or the base ref) is unavailable, in which
+    case the caller falls back to a full run.
+    """
+    import subprocess
+
+    from repro.analysis.lint.engine import TARGET_DIRS
+
+    def run(*cmd: str) -> "subprocess.CompletedProcess[str]":
+        return subprocess.run(["git", "-C", str(root), *cmd],
+                              capture_output=True, text=True, timeout=60)
+
+    try:
+        merge_base = None
+        for ref in ([base] if base else ["origin/main", "main"]):
+            result = run("merge-base", "HEAD", ref)
+            if result.returncode == 0:
+                merge_base = result.stdout.strip()
+                break
+        if merge_base is None:
+            return None
+        diff = run("diff", "--name-only", merge_base)
+        if diff.returncode != 0:
+            return None
+        files = {ln.strip() for ln in diff.stdout.splitlines() if ln.strip()}
+        untracked = run("ls-files", "--others", "--exclude-standard")
+        if untracked.returncode == 0:
+            files.update(ln.strip() for ln in untracked.stdout.splitlines()
+                         if ln.strip())
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return sorted(
+        f for f in files
+        if f.endswith(".py") and f.split("/", 1)[0] in TARGET_DIRS
+    )
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run reprolint over the repository; non-zero exit on violations."""
+    """Run reprolint; exit 0 clean, 1 on findings, 2 on engine error."""
+    import traceback
     from pathlib import Path
 
-    from repro.analysis.reprolint import lint_repo
+    from repro.analysis import lint as reprolint
 
-    root = Path(args.root) if args.root else Path(__file__).resolve().parents[2]
-    violations = lint_repo(root)
-    for v in violations:
-        print(v.format())
-    rules = sorted({v.rule for v in violations})
-    if violations:
-        print(f"reprolint: {len(violations)} violation(s) "
-              f"across rule(s): {', '.join(rules)}")
-        return 1
-    print(f"reprolint: clean ({root})")
-    return 0
+    root = (Path(args.root).resolve() if args.root
+            else Path(__file__).resolve().parents[2])
+    baseline = Path(args.baseline) if args.baseline else Path(
+        "reprolint-baseline.json")
+    if not baseline.is_absolute():
+        baseline = root / baseline
+    # A snapshot must see the *unfiltered* findings.
+    baseline_path = None if args.write_baseline else baseline
+    try:
+        if args.changed:
+            changed = _changed_py_files(root, args.base)
+            if changed is None:
+                print("reprolint: --changed needs git and the base ref; "
+                      "running the full tree instead", file=sys.stderr)
+                violations = reprolint.lint_repo(
+                    root, baseline_path=baseline_path)
+            else:
+                paths = [Path(f) for f in changed if (root / f).is_file()]
+                violations = reprolint.lint_files(
+                    paths, root, baseline_path=baseline_path)
+        else:
+            violations = reprolint.lint_repo(
+                root, baseline_path=baseline_path)
+        if args.write_baseline:
+            reprolint.write_baseline(violations, baseline)
+            print(f"reprolint: baseline written to {baseline} "
+                  f"({len(violations)} findings)")
+            return 0
+        renderer = {
+            "text": reprolint.render_text,
+            "json": reprolint.render_json,
+            "sarif": reprolint.render_sarif,
+        }[args.format]
+        rendered = renderer(violations)
+        if args.out:
+            Path(args.out).write_text(rendered, "utf-8")
+        else:
+            sys.stdout.write(rendered)
+        return 1 if violations else 0
+    except Exception:
+        traceback.print_exc()
+        return 2
 
 
 # ----------------------------------------------------------------------
@@ -712,6 +783,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--root", default=None,
                         help="repository root to lint (defaults to the "
                              "checkout this package was imported from)")
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json", "sarif"),
+                        help="finding renderer (text, json, or SARIF 2.1.0)")
+    p_lint.add_argument("--out", default=None,
+                        help="write rendered findings to this file instead "
+                             "of stdout")
+    p_lint.add_argument("--changed", action="store_true",
+                        help="lint only files changed since the merge-base "
+                             "with --base (full run if git is unavailable)")
+    p_lint.add_argument("--base", default=None,
+                        help="base ref for --changed (default: origin/main, "
+                             "then main)")
+    p_lint.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                             "<root>/reprolint-baseline.json; matched on "
+                             "rule+path+message, line-insensitive)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="snapshot the current findings as the new "
+                             "baseline and exit 0")
     p_lint.set_defaults(func=cmd_lint)
 
     return parser

@@ -670,20 +670,29 @@ class ProcessExecutor(ShardExecutor):
                 order.append(handle)
             arr = _encode_subops(subops)
             shm: shared_memory.SharedMemory | None = None
-            msg: tuple[Any, ...]
             if arr is not None:
                 shm = shared_memory.SharedMemory(create=True,
                                                  size=max(1, int(arr.nbytes)))
-                view = np.ndarray(arr.shape, dtype=np.int64, buffer=shm.buf)
-                view[:] = arr
-                msg = ("exec", sid, shm.name, len(subops), None)
+                try:
+                    view = np.ndarray(arr.shape, dtype=np.int64,
+                                      buffer=shm.buf)
+                    view[:] = arr
+                    handle.conn.send(("exec", sid, shm.name, len(subops),
+                                      None))
+                except (BrokenPipeError, OSError):
+                    pass  # recv below observes the death and recovers
+                except BaseException:
+                    # Nobody owns the segment yet: release it before the
+                    # error propagates or it outlives the dispatch.
+                    shm.close()
+                    shm.unlink()
+                    raise
             else:
                 # Non-integral keys: ship the sub-ops over the pipe.
-                msg = ("exec", sid, None, 0, subops)
-            try:
-                handle.conn.send(msg)
-            except (BrokenPipeError, OSError):
-                pass  # recv below observes the death and recovers
+                try:
+                    handle.conn.send(("exec", sid, None, 0, subops))
+                except (BrokenPipeError, OSError):
+                    pass  # recv below observes the death and recovers
             queues[id(handle)].append((pos, sid, subops, shm))
             self._dirty.add(sid)
         pending_error: BaseException | None = None

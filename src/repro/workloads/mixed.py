@@ -135,7 +135,7 @@ class MixedTrace:
     skew: str
     theta: float
     seed: int
-    expected_hits: np.ndarray = field(repr=False, default=None)
+    expected_hits: np.ndarray | None = field(repr=False, default=None)
 
     def __len__(self) -> int:
         return len(self.ops)

@@ -123,7 +123,7 @@ def range_queries(
     lo_key, hi_key = int(values.min()), int(values.max())
     domain = hi_key - lo_key + 1
     width = max(1, int(domain * fraction))
-    queries = []
+    queries: list[RangeQuery] = []
     for _ in range(n_queries):
         start = int(rng.integers(lo_key, max(lo_key + 1, hi_key - width + 2)))
         queries.append(RangeQuery(lo=start, hi=start + width - 1,

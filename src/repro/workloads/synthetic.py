@@ -54,7 +54,8 @@ def _clustered_column(n: int, avg_cardinality: int,
         extra = rng.poisson(avg_cardinality, size=estimated_values)
         counts = np.concatenate([counts, np.clip(extra, 1, None)])
     values = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
-    return values[:n]
+    result: np.ndarray = values[:n]
+    return result
 
 
 def distinct_keys(relation: Relation, column: str) -> np.ndarray:

@@ -1,30 +1,25 @@
-"""reprolint self-tests: every rule class proven on a known-bad snippet,
-the whole repository proven clean, and regression tests for the protocol
-surface the first lint run forced onto the books.
+"""Ported pattern rules (C/P/S/L/F/X): semantics preserved from the flat
+linter, now with stable short ids, plus the protocol-surface regression
+tests the first lint run forced onto the books.
 """
 
 from pathlib import Path
 
 import pytest
 
-from repro.analysis.reprolint import (
-    PROTOCOL_SURFACE,
-    Violation,
-    lint_files,
-    lint_repo,
-    lint_source,
-)
+from repro.analysis.lint import Violation, lint_files, lint_repo, lint_source
+from repro.analysis.lint.rules_ast import PROTOCOL_SURFACE
 from repro.api import Index, as_scalar, make_index, registered_backends
 
-ROOT = Path(__file__).resolve().parents[1]
+ROOT = Path(__file__).resolve().parents[2]
 
 
-def rules_of(violations):
+def ids_of(violations):
     return sorted({v.rule for v in violations})
 
 
 # ======================================================================
-# charge-discipline
+# charge-discipline (C1/C2)
 # ======================================================================
 class TestChargeDiscipline:
     def test_read_page_without_sequential_flagged(self):
@@ -33,28 +28,21 @@ class TestChargeDiscipline:
             "    for pid in pids:\n"
             "        dev.read_page(pid)\n"
         )
-        assert rules_of(vs) == ["charge-discipline"]
+        assert ids_of(vs) == ["C1"]
         assert vs[0].line == 3
         assert "sequential" in vs[0].message
 
     def test_literal_sequential_true_flagged(self):
         vs = lint_source("def f(dev, pid):\n"
                          "    dev.read_page(pid, sequential=True)\n")
-        assert rules_of(vs) == ["charge-discipline"]
+        assert ids_of(vs) == ["C2"]
         assert "random positioning" in vs[0].message
 
     def test_run_pattern_is_clean(self):
-        vs = lint_source(
+        assert lint_source(
             "def fetch(dev, pids):\n"
             "    for i, pid in enumerate(pids):\n"
             "        dev.read_page(pid, sequential=i > 0)\n"
-        )
-        assert vs == []
-
-    def test_explicit_random_is_clean(self):
-        assert lint_source(
-            "def f(dev, pid):\n"
-            "    dev.read_page(pid, sequential=False)\n"
         ) == []
 
     def test_storage_layer_is_exempt(self):
@@ -68,7 +56,7 @@ class TestChargeDiscipline:
 
 
 # ======================================================================
-# protocol-discipline
+# protocol-discipline (P1/P2/P3)
 # ======================================================================
 class TestProtocolDiscipline:
     @pytest.mark.parametrize("probe", [
@@ -78,8 +66,8 @@ class TestProtocolDiscipline:
         'hasattr(ix, "range_scan")',
     ])
     def test_duck_typing_protocol_surface_flagged(self, probe):
-        vs = lint_source(f"def f(ix):\n    return {probe}\n")
-        assert rules_of(vs) == ["protocol-discipline"]
+        assert ids_of(lint_source(f"def f(ix):\n    return {probe}\n")) == \
+            ["P1"]
 
     def test_non_protocol_attribute_is_clean(self):
         assert lint_source(
@@ -94,7 +82,7 @@ class TestProtocolDiscipline:
             "    def search(self, key):\n"
             "        return None\n"
         )
-        assert rules_of(vs) == ["protocol-discipline"]
+        assert ids_of(vs) == ["P2"]
         assert "search_many" in vs[0].message
 
     def test_batch_counterpart_inherited_from_mixin_is_clean(self):
@@ -108,7 +96,6 @@ class TestProtocolDiscipline:
         ) == []
 
     def test_non_index_class_with_search_is_clean(self):
-        # Defining search() alone does not make a class index-like.
         assert lint_source(
             "class TextFinder:\n"
             "    def search(self, needle):\n"
@@ -127,25 +114,70 @@ class TestProtocolDiscipline:
             'EXPECTED_CAPS = {"bf": dict(ordered=True)}\n'
         )
         vs = lint_repo(tmp_path)
-        assert rules_of(vs) == ["protocol-discipline"]
+        assert ids_of(vs) == ["P3"]
         [v] = vs
         assert '"ghost"' in v.message and "EXPECTED_CAPS" in v.message
 
 
 # ======================================================================
-# seed-discipline
+# topology-discipline (P4)
+# ======================================================================
+class TestShardCaching:
+    SVC = "src/repro/service/rebalance.py"
+
+    @pytest.mark.parametrize("body", [
+        "self.hot = service.shards[0]",
+        "self.view = service.shards",
+        "self.first = self.service.shards[i]",
+        "self.pair: tuple = (service.shards[0], service.shards[1])",
+    ])
+    def test_caching_shards_in_self_flagged(self, body):
+        src = (
+            "class Controller:\n"
+            "    def observe(self, service, i):\n"
+            f"        {body}\n"
+        )
+        vs = lint_source(src, self.SVC)
+        assert ids_of(vs) == ["P4"]
+        assert "epoch" in vs[0].message
+
+    def test_transient_local_read_is_clean(self):
+        src = (
+            "class Controller:\n"
+            "    def observe(self, service):\n"
+            "        for shard in service.shards:\n"
+            "            shard.index.n_leaves\n"
+            "        hot = service.shards[0]\n"
+            "        return hot.shard_id\n"
+        )
+        assert lint_source(src, self.SVC) == []
+
+    def test_topology_owners_are_exempt(self):
+        src = (
+            "class ShardedIndex:\n"
+            "    def _admit(self, shard):\n"
+            "        self.shards = self.shards + [shard]\n"
+        )
+        assert lint_source(src, "src/repro/service/sharded.py") == []
+        assert lint_source(src, "src/repro/service/routing.py") == []
+        assert ids_of(lint_source(src, self.SVC)) == ["P4"]
+
+
+# ======================================================================
+# seed-discipline (S1/S2/S3)
 # ======================================================================
 class TestSeedDiscipline:
-    @pytest.mark.parametrize("snippet", [
-        "import numpy as np\nrng = np.random.default_rng()\n",
-        "from numpy.random import default_rng\nrng = default_rng()\n",
-        "import random\nr = random.Random()\n",
-        "import random\nx = random.random()\n",
-        "import random\nrandom.seed(42)\n",
-        "import numpy as np\nx = np.random.rand(8)\n",
+    @pytest.mark.parametrize("snippet,rule", [
+        ("import numpy as np\nrng = np.random.default_rng()\n", "S1"),
+        ("from numpy.random import default_rng\nrng = default_rng()\n",
+         "S1"),
+        ("import random\nr = random.Random()\n", "S2"),
+        ("import random\nx = random.random()\n", "S3"),
+        ("import random\nrandom.seed(42)\n", "S3"),
+        ("import numpy as np\nx = np.random.rand(8)\n", "S3"),
     ])
-    def test_unseeded_rng_flagged(self, snippet):
-        assert rules_of(lint_source(snippet)) == ["seed-discipline"]
+    def test_unseeded_rng_flagged(self, snippet, rule):
+        assert ids_of(lint_source(snippet)) == [rule]
 
     @pytest.mark.parametrize("snippet", [
         "import numpy as np\nrng = np.random.default_rng(42)\n",
@@ -159,11 +191,11 @@ class TestSeedDiscipline:
     def test_seed_rule_applies_to_tests_too(self):
         vs = lint_source("import random\nx = random.random()\n",
                          "tests/test_something.py")
-        assert rules_of(vs) == ["seed-discipline"]
+        assert ids_of(vs) == ["S3"]
 
 
 # ======================================================================
-# scalar-leak
+# scalar-leak (L1)
 # ======================================================================
 class TestScalarLeak:
     def test_hasattr_item_flagged(self):
@@ -171,7 +203,7 @@ class TestScalarLeak:
             'def unwrap(k):\n'
             '    return k.item() if hasattr(k, "item") else k\n'
         )
-        assert rules_of(vs) == ["scalar-leak"]
+        assert ids_of(vs) == ["L1"]
         assert "as_scalar" in vs[0].message
 
     def test_helper_home_module_is_exempt(self):
@@ -190,7 +222,7 @@ class TestScalarLeak:
 
 
 # ======================================================================
-# format-discipline
+# format-discipline (F1/F2)
 # ======================================================================
 class TestFormatDiscipline:
     @pytest.mark.parametrize("snippet", [
@@ -202,7 +234,7 @@ class TestFormatDiscipline:
     ])
     def test_pickle_deserialization_flagged(self, snippet):
         vs = lint_source(snippet)
-        assert rules_of(vs) == ["format-discipline"]
+        assert ids_of(vs) == ["F1"]
         assert "persist" in vs[0].message
 
     @pytest.mark.parametrize("mode", ["wb", "ab", "xb", "rb+", "wb+", "bw"])
@@ -212,16 +244,7 @@ class TestFormatDiscipline:
             f"    with open(path, {mode!r}) as f:\n"
             f"        f.write(blob)\n"
         )
-        assert rules_of(vs) == ["format-discipline"]
-        assert "persist" in vs[0].message
-
-    def test_binary_write_mode_keyword_flagged(self):
-        vs = lint_source(
-            "def dump(path, blob):\n"
-            "    with open(path, mode='wb') as f:\n"
-            "        f.write(blob)\n"
-        )
-        assert rules_of(vs) == ["format-discipline"]
+        assert ids_of(vs) == ["F2"]
 
     @pytest.mark.parametrize("snippet", [
         "def read(path):\n    return open(path, 'rb').read()\n",
@@ -247,7 +270,7 @@ class TestFormatDiscipline:
 
 
 # ======================================================================
-# executor-confinement
+# executor-confinement (X1)
 # ======================================================================
 class TestExecutorConfinement:
     EXECUTOR = "src/repro/service/executor.py"
@@ -262,11 +285,9 @@ class TestExecutorConfinement:
         "from multiprocessing.connection import Connection\n",
     ])
     def test_parallel_imports_flagged_in_library_code(self, snippet):
-        vs = lint_source(snippet)
-        assert rules_of(vs) == ["executor-confinement"]
-        assert "X1" in vs[0].message
-        vs = lint_source(snippet, "src/repro/service/router.py")
-        assert rules_of(vs) == ["executor-confinement"]
+        assert ids_of(lint_source(snippet)) == ["X1"]
+        assert ids_of(
+            lint_source(snippet, "src/repro/service/router.py")) == ["X1"]
 
     @pytest.mark.parametrize("snippet", [
         "from concurrent.futures import ThreadPoolExecutor\n",
@@ -292,16 +313,11 @@ class TestExecutorConfinement:
 
 
 # ======================================================================
-# whole-repo gate + plumbing
+# plumbing
 # ======================================================================
-def test_repository_is_lint_clean():
-    violations = lint_repo(ROOT)
-    assert violations == [], "\n".join(v.format() for v in violations)
-
-
 def test_violation_format_is_precise():
-    v = Violation("seed-discipline", "src/x.py", 12, "boom")
-    assert v.format() == "src/x.py:12: [seed-discipline] boom"
+    v = Violation("S3", "seed-discipline", "src/x.py", 12, "boom")
+    assert v.format() == "src/x.py:12: [S3 seed-discipline] boom"
 
 
 def test_lint_files_orders_output(tmp_path):
@@ -317,14 +333,7 @@ def test_syntax_error_reported_not_raised(tmp_path):
     bad.parent.mkdir()
     bad.write_text("def broken(:\n")
     vs = lint_files([bad], tmp_path)
-    assert rules_of(vs) == ["parse-error"]
-
-
-def test_cli_lint_runs_clean(capsys):
-    from repro.cli import main
-
-    assert main(["lint"]) == 0
-    assert "clean" in capsys.readouterr().out
+    assert ids_of(vs) == ["PE"]
 
 
 # ======================================================================
@@ -345,8 +354,6 @@ def test_every_backend_declares_size_pages(pk_relation):
 
 
 def test_protocol_surface_covers_sharding_and_size():
-    # The lint surface and the runtime Protocol agree on the members
-    # whose getattr probes the first run flagged.
     assert "supports_sharding" in PROTOCOL_SURFACE
     assert "size_pages" in PROTOCOL_SURFACE
     assert "supports_sharding" in Index.__annotations__
@@ -357,70 +364,4 @@ def test_protocol_surface_covers_checkpoint_hooks():
     assert "snapshot_state" in PROTOCOL_SURFACE
     assert "restore_state" in PROTOCOL_SURFACE
     vs = lint_source('def f(ix):\n    return hasattr(ix, "snapshot_state")\n')
-    assert rules_of(vs) == ["protocol-discipline"]
-
-
-# ======================================================================
-# topology-discipline (P4: no caching .shards across epochs)
-# ======================================================================
-class TestShardCaching:
-    SVC = "src/repro/service/rebalance.py"
-
-    @pytest.mark.parametrize("body", [
-        "self.hot = service.shards[0]",
-        "self.view = service.shards",
-        "self.first = self.service.shards[i]",
-        "self.pair: tuple = (service.shards[0], service.shards[1])",
-    ])
-    def test_caching_shards_in_self_flagged(self, body):
-        src = (
-            "class Controller:\n"
-            "    def observe(self, service, i):\n"
-            f"        {body}\n"
-        )
-        vs = lint_source(src, self.SVC)
-        assert rules_of(vs) == ["protocol-discipline"]
-        assert "P4" in vs[0].message
-        assert "epoch" in vs[0].message
-
-    def test_transient_local_read_is_clean(self):
-        # Reading through the service per use is the sanctioned pattern.
-        src = (
-            "class Controller:\n"
-            "    def observe(self, service):\n"
-            "        for shard in service.shards:\n"
-            "            shard.index.n_leaves\n"
-            "        hot = service.shards[0]\n"
-            "        return hot.shard_id\n"
-        )
-        assert lint_source(src, self.SVC) == []
-
-    def test_caching_service_handle_is_clean(self):
-        # Holding the ShardedIndex itself is fine; it owns the epochs.
-        src = (
-            "class Controller:\n"
-            "    def __init__(self, service):\n"
-            "        self.service = service\n"
-        )
-        assert lint_source(src, self.SVC) == []
-
-    def test_topology_owners_are_exempt(self):
-        src = (
-            "class ShardedIndex:\n"
-            "    def _admit(self, shard):\n"
-            "        self.shards = self.shards + [shard]\n"
-        )
-        assert lint_source(src, "src/repro/service/sharded.py") == []
-        assert lint_source(src, "src/repro/service/routing.py") == []
-        assert rules_of(lint_source(src, self.SVC)) == [
-            "protocol-discipline"
-        ]
-
-    def test_rule_scoped_to_service_layer(self):
-        src = (
-            "class Report:\n"
-            "    def __init__(self, svc):\n"
-            "        self.shards_seen = svc.shards\n"
-        )
-        assert lint_source(src, "src/repro/analysis/report.py") == []
-        assert lint_source(src, "tests/test_service.py") == []
+    assert ids_of(vs) == ["P1"]

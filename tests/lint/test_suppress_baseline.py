@@ -1,0 +1,138 @@
+"""Suppression-directive and baseline-file behavior."""
+
+from collections import Counter
+
+from repro.analysis.lint import (
+    Violation,
+    apply_baseline,
+    lint_files,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+
+PERSIST = "src/repro/persist/durable.py"
+
+BAD_LINE = "        return self.inner.insert(key, tid)"
+
+BAD = (
+    "class DurableIndex:\n"
+    "    def insert(self, key, tid):\n"
+    + BAD_LINE + "{directive}\n"
+)
+
+
+def with_directive(directive):
+    return BAD.format(directive=directive)
+
+
+def ids_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+class TestSuppressions:
+    def test_directive_with_reason_suppresses(self):
+        src = with_directive(
+            "  # reprolint: disable=D1 -- replay path, already framed")
+        assert lint_source(src, PERSIST) == []
+
+    def test_directive_without_reason_does_not_suppress(self):
+        src = with_directive("  # reprolint: disable=D1")
+        assert ids_of(lint_source(src, PERSIST)) == ["D1", "U2"]
+
+    def test_unused_directive_reported(self):
+        src = (
+            "def helper():\n"
+            "    return 1  # reprolint: disable=D1 -- does not apply here\n"
+        )
+        vs = lint_source(src, PERSIST)
+        assert ids_of(vs) == ["U1"]
+        assert "matched no finding" in vs[0].message
+
+    def test_unknown_rule_id_reported(self):
+        src = (
+            "def helper():\n"
+            "    return 1  # reprolint: disable=Z9 -- whatever\n"
+        )
+        vs = lint_source(src, PERSIST)
+        assert ids_of(vs) == ["U3"]
+        assert "Z9" in vs[0].message
+
+    def test_unknown_directive_verb_reported(self):
+        src = (
+            "def helper():\n"
+            "    return 1  # reprolint: ignore=D1 -- wrong verb\n"
+        )
+        vs = lint_source(src, PERSIST)
+        assert ids_of(vs) == ["U3"]
+
+    def test_multiple_ids_one_directive(self):
+        src = with_directive(
+            "  # reprolint: disable=D1,D2 -- covers both")
+        # D1 is suppressed; the D2 half matched nothing and is stale.
+        vs = lint_source(src, PERSIST)
+        assert ids_of(vs) == ["U1"]
+        assert "D2" in vs[0].message
+
+    def test_directive_must_be_on_the_flagged_line(self):
+        src = (
+            "class DurableIndex:\n"
+            "    def insert(self, key, tid):\n"
+            "        # reprolint: disable=D1 -- wrong line\n"
+            + BAD_LINE + "\n"
+        )
+        vs = lint_source(src, PERSIST)
+        assert "D1" in ids_of(vs) and "U1" in ids_of(vs)
+
+    def test_directive_inside_string_literal_is_inert(self):
+        src = (
+            "def helper():\n"
+            "    return '# reprolint: disable=D1 -- not a directive'\n"
+        )
+        assert lint_source(src, PERSIST) == []
+
+
+def v(rule, path, line, message):
+    return Violation(rule, "durability-ordering", path, line, message)
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_recorded_findings(self, tmp_path):
+        finding = v("D1", "src/a.py", 10, "boom")
+        path = tmp_path / "baseline.json"
+        write_baseline([finding], path)
+        baseline = load_baseline(path)
+        assert apply_baseline([finding], baseline) == []
+
+    def test_line_numbers_do_not_matter(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([v("D1", "src/a.py", 10, "boom")], path)
+        moved = v("D1", "src/a.py", 99, "boom")
+        assert apply_baseline([moved], load_baseline(path)) == []
+
+    def test_multiset_counts_only_absorb_recorded_copies(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([v("D1", "src/a.py", 10, "boom")], path)
+        two = [v("D1", "src/a.py", 10, "boom"),
+               v("D1", "src/a.py", 50, "boom")]
+        kept = apply_baseline(two, load_baseline(path))
+        assert len(kept) == 1
+
+    def test_new_findings_pass_through(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([v("D1", "src/a.py", 10, "boom")], path)
+        fresh = v("D2", "src/b.py", 3, "new bug")
+        assert apply_baseline([fresh], load_baseline(path)) == [fresh]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == Counter()
+
+    def test_engine_level_integration(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "persist" / "durable.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(BAD.format(directive=""))
+        assert ids_of(lint_files([bad], tmp_path)) == ["D1"]
+
+        baseline = tmp_path / "reprolint-baseline.json"
+        write_baseline(lint_files([bad], tmp_path), baseline)
+        assert lint_files([bad], tmp_path, baseline_path=baseline) == []
